@@ -1,0 +1,68 @@
+// Command sagebench regenerates the SAGE evaluation: every table and figure
+// of the reconstructed experiment suite (see DESIGN.md). Without flags it
+// runs everything; -exp selects one experiment, -quick shrinks sizes, -csv
+// emits machine-readable output, -list shows the index.
+//
+// Examples:
+//
+//	sagebench -list
+//	sagebench -exp 3
+//	sagebench -quick -seed 7
+//	sagebench -exp 9 -csv > f9.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sage/internal/bench"
+)
+
+func main() {
+	var (
+		expID = flag.Int("exp", 0, "experiment ID to run (0 = all)")
+		quick = flag.Bool("quick", false, "reduced sizes/durations")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-4s %-16s %-6s %s\n", "ID", "NAME", "FIG", "DESCRIPTION")
+		for _, e := range bench.All() {
+			fmt.Printf("%-4d %-16s %-6s %s\n", e.ID, e.Name, e.Figure, e.Desc)
+		}
+		return
+	}
+
+	cfg := bench.Config{Seed: *seed, Quick: *quick}
+	run := func(e bench.Experiment) {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running %d/%s (%s)...\n", e.ID, e.Name, e.Figure)
+		tables := e.Run(cfg)
+		for _, tb := range tables {
+			if *csv {
+				fmt.Print(tb.CSV())
+			} else {
+				fmt.Println(tb.String())
+			}
+		}
+		fmt.Fprintf(os.Stderr, "done %d/%s in %v\n", e.ID, e.Name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *expID != 0 {
+		e, ok := bench.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sagebench: unknown experiment %d (try -list)\n", *expID)
+			os.Exit(1)
+		}
+		run(e)
+		return
+	}
+	for _, e := range bench.All() {
+		run(e)
+	}
+}

@@ -1,0 +1,49 @@
+// Command sageinspect runs Introspection-as-a-Service against a simulated
+// cloud: after a monitoring warm-up it prints per-link service-level
+// profiles (with stability grades), attainment against a target throughput,
+// and a catalog of what standard transfers would cost right now.
+//
+// Example:
+//
+//	sageinspect -hours 4 -target 8 -ref 1073741824
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"sage/internal/core"
+	"sage/internal/introspect"
+	"sage/internal/stats"
+)
+
+func main() {
+	var (
+		hours  = flag.Float64("hours", 2, "virtual hours of monitoring before the report")
+		target = flag.Float64("target", 8, "target MB/s for the attainment column")
+		ref    = flag.Int64("ref", 1<<30, "reference dataset size for the cost catalog (bytes)")
+		lanes  = flag.Int("lanes", 4, "parallel lane count for the catalog's parallel variant")
+		seed   = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	e := core.NewEngine(core.Options{Seed: *seed})
+	e.Sched.RunFor(time.Duration(*hours * float64(time.Hour)))
+
+	topo := e.Net.Topology()
+	profiles := introspect.Profiles(e.Monitor, topo)
+	fmt.Println(introspect.ProfilesTable(profiles).String())
+
+	at := stats.NewTable(fmt.Sprintf("attainment of %.1f MB/s", *target), "link", "fraction of samples meeting target")
+	for _, p := range profiles {
+		if frac, ok := introspect.Attainment(e.Monitor, p.From, p.To, *target); ok {
+			at.Add(fmt.Sprintf("%s>%s", p.From, p.To), fmt.Sprintf("%.0f%%", frac*100))
+		}
+	}
+	fmt.Println(at.String())
+
+	par := e.Params
+	par.Intr = 1
+	fmt.Println(introspect.CatalogTable(introspect.Catalog(e.Monitor, topo, par, *ref, *lanes)).String())
+}

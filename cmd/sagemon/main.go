@@ -1,0 +1,56 @@
+// Command sagemon runs the monitoring agent against a simulated
+// geo-distributed cloud and prints the live inter-datacenter throughput map
+// at intervals — the operator's view of the environment (figure F1,
+// interactively).
+//
+// Example:
+//
+//	sagemon -hours 2 -every 30m -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"sage/internal/core"
+	"sage/internal/stats"
+)
+
+func main() {
+	var (
+		hours = flag.Float64("hours", 1, "virtual hours to simulate")
+		every = flag.Duration("every", 30*time.Minute, "map print interval (virtual)")
+		seed  = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	e := core.NewEngine(core.Options{Seed: *seed})
+	total := time.Duration(*hours * float64(time.Hour))
+	for elapsed := time.Duration(0); elapsed < total; elapsed += *every {
+		e.Sched.RunFor(*every)
+		fmt.Printf("t=%v\n", e.Sched.Now())
+		printMap(e)
+	}
+}
+
+func printMap(e *core.Engine) {
+	ids := e.Net.Topology().SiteIDs()
+	tb := stats.NewTable("inter-datacenter throughput (MB/s): monitored | ground truth", "from\\to")
+	for _, to := range ids {
+		tb.Headers = append(tb.Headers, string(to))
+	}
+	for _, from := range ids {
+		row := []string{string(from)}
+		for _, to := range ids {
+			if from == to {
+				row = append(row, "-")
+				continue
+			}
+			mean, _ := e.Monitor.Estimate(from, to)
+			row = append(row, fmt.Sprintf("%.1f|%.1f", mean, e.Net.CapacityNow(from, to)))
+		}
+		tb.Add(row...)
+	}
+	fmt.Println(tb.String())
+}

@@ -1,0 +1,166 @@
+// Command sagesim runs one geo-distributed streaming job on the simulated
+// cloud and prints a run report: windows completed, latency percentiles,
+// bytes moved, money spent, and the top keys of the global answer.
+//
+// Example:
+//
+//	sagesim -sources NEU,WEU,SUS -sink NUS -rate 1000 -window 30s \
+//	        -minutes 10 -strategy envaware -budget 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/core"
+	"sage/internal/scenario"
+	"sage/internal/stats"
+	"sage/internal/stream"
+	"sage/internal/trace"
+	"sage/internal/transfer"
+	"sage/internal/workload"
+)
+
+var strategies = map[string]transfer.Strategy{
+	"direct":    transfer.Direct,
+	"parallel":  transfer.ParallelStatic,
+	"envaware":  transfer.EnvAware,
+	"widest":    transfer.WidestDynamic,
+	"multipath": transfer.MultipathDynamic,
+}
+
+func main() {
+	var (
+		scenarioPath = flag.String("scenario", "", "run a JSON scenario file instead of flag-built job")
+
+		sources   = flag.String("sources", "NEU,WEU,SUS", "comma-separated source sites")
+		sink      = flag.String("sink", "NUS", "sink (meta-reducer) site")
+		rate      = flag.Float64("rate", 1000, "events/second per source site")
+		window    = flag.Duration("window", 30*time.Second, "tumbling window width")
+		minutes   = flag.Float64("minutes", 10, "virtual minutes of stream")
+		strategy  = flag.String("strategy", "envaware", "direct|parallel|envaware|widest|multipath")
+		budget    = flag.Float64("budget", 0, "max $ per window transfer (0 = unconstrained)")
+		raw       = flag.Bool("raw", false, "ship raw events instead of partials (centralized baseline)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 8, "worker VMs per site")
+		tracePath = flag.String("trace", "", "write the run's event timeline as JSON Lines to this file")
+	)
+	flag.Parse()
+
+	if *scenarioPath != "" {
+		runScenario(*scenarioPath)
+		return
+	}
+
+	st, ok := strategies[*strategy]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sagesim: unknown strategy %q\n", *strategy)
+		os.Exit(1)
+	}
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		rec = trace.New(1 << 20)
+	}
+	e := core.NewEngine(core.Options{Seed: *seed, Trace: rec})
+	e.DeployEverywhere(cloud.Medium, *workers)
+	e.Sched.RunFor(time.Minute) // monitor learning
+
+	var specs []core.SourceSpec
+	for _, s := range strings.Split(*sources, ",") {
+		specs = append(specs, core.SourceSpec{
+			Site: cloud.SiteID(strings.TrimSpace(s)),
+			Rate: workload.ConstantRate(*rate),
+		})
+	}
+	job := core.JobSpec{
+		Sources:         specs,
+		Sink:            cloud.SiteID(*sink),
+		Window:          *window,
+		Agg:             stream.Mean,
+		ShipRaw:         *raw,
+		Strategy:        st,
+		Lanes:           3,
+		Intr:            0.5,
+		BudgetPerWindow: *budget,
+	}
+	rep, err := e.Run(job, time.Duration(*minutes*float64(time.Minute)))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sagesim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("job: %d sources -> %s, window %v, strategy %v, %s\n",
+		len(specs), *sink, *window, st, map[bool]string{true: "raw events", false: "local partials"}[*raw])
+	tb := stats.NewTable("run report", "metric", "value")
+	tb.Add("windows completed", fmt.Sprintf("%d", rep.Windows))
+	tb.Add("windows incomplete", fmt.Sprintf("%d", rep.Incomplete))
+	tb.Add("events processed", fmt.Sprintf("%d", rep.TotalEvents))
+	tb.Add("bytes moved over WAN", stats.FmtBytes(rep.TotalBytes))
+	tb.Add("money spent", stats.FmtMoney(rep.TotalCost))
+	tb.Add("latency p50", fmt.Sprintf("%.2fs", rep.LatencySummary.P50))
+	tb.Add("latency p95", fmt.Sprintf("%.2fs", rep.LatencySummary.P95))
+	tb.Add("latency p99", fmt.Sprintf("%.2fs", rep.LatencySummary.P99))
+	fmt.Println(tb.String())
+
+	top := stats.NewTable("global answer: top 5 keys", "key", "value")
+	for _, kv := range rep.Global.TopK(5) {
+		top.Add(kv.Key, fmt.Sprintf("%.3f", kv.Value))
+	}
+	fmt.Println(top.String())
+
+	if rec != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sagesim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rec.WriteJSONL(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sagesim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events written to %s\n", rec.Len(), *tracePath)
+	}
+}
+
+// runScenario executes a declarative JSON scenario file.
+func runScenario(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sagesim: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	sc, err := scenario.Load(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sagesim: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sagesim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("scenario %q\n", res.Name)
+	switch {
+	case res.Report != nil:
+		tb := stats.NewTable("run report", "metric", "value")
+		tb.Add("windows completed", fmt.Sprintf("%d", res.Report.Windows))
+		tb.Add("windows incomplete", fmt.Sprintf("%d", res.Report.Incomplete))
+		tb.Add("events processed", fmt.Sprintf("%d", res.Report.TotalEvents))
+		tb.Add("bytes moved over WAN", stats.FmtBytes(res.Report.TotalBytes))
+		tb.Add("money spent", stats.FmtMoney(res.Report.TotalCost))
+		tb.Add("latency p95", fmt.Sprintf("%.2fs", res.Report.LatencySummary.P95))
+		fmt.Println(tb.String())
+	case res.Gather != nil:
+		tb := stats.NewTable("gather report", "metric", "value")
+		tb.Add("makespan", stats.FmtDur(res.Gather.Makespan))
+		tb.Add("bytes", stats.FmtBytes(res.Gather.TotalBytes))
+		tb.Add("cost", stats.FmtMoney(res.Gather.TotalCost))
+		fmt.Println(tb.String())
+	}
+}

@@ -1,0 +1,71 @@
+// Budgetplanner: explore the cost/time tradeoff before committing money.
+// Given a dataset size and a source/destination pair, the planner consults
+// the live monitor estimate and the cost/time model to print, for each
+// candidate node count, the predicted transfer time and cost — then shows
+// which count a set of budgets buys and verifies one prediction by actually
+// running the transfer.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/core"
+	"sage/internal/stats"
+	"sage/internal/transfer"
+)
+
+func main() {
+	const size = 2 << 30 // 2 GiB
+	from, to := cloud.NorthEU, cloud.NorthUS
+
+	engine := core.NewEngine(core.Options{Seed: 5})
+	engine.DeployEverywhere(cloud.Medium, 12)
+	engine.Sched.RunFor(2 * time.Minute) // learn the links
+
+	est, sigma := engine.Monitor.Estimate(from, to)
+	fmt.Printf("monitored %s->%s: %.2f MB/s (sigma %.2f)\n\n", from, to, est, sigma)
+
+	params := engine.Params
+	params.Intr = 0.5
+	tb := stats.NewTable(fmt.Sprintf("predictions for %s", stats.FmtBytes(size)),
+		"nodes", "predicted time", "predicted cost")
+	for _, p := range params.Sweep(size, est, 10) {
+		tb.Add(fmt.Sprintf("%d", p.Nodes), stats.FmtDur(p.Time), stats.FmtMoney(p.Cost))
+	}
+	fmt.Println(tb.String())
+
+	knee := params.Knee(size, est, 10)
+	fmt.Printf("cost/time knee: %d nodes\n\n", knee)
+
+	// Egress (~$0.24 for 2 GiB) is a constant floor; the budget's variable
+	// part buys VM-time, so interesting budgets sit just above the floor.
+	floor := params.EgressCost(size)
+	bt := stats.NewTable("what a budget buys", "budget", "nodes", "predicted time")
+	for _, budget := range []float64{floor * 0.98, floor * 1.01, floor * 1.03, floor * 1.3} {
+		if n, ok := params.NodesForBudget(size, est, budget, 10); ok {
+			bt.Add(stats.FmtMoney(budget), fmt.Sprintf("%d", n),
+				stats.FmtDur(params.TransferTime(size, est, n)))
+		} else {
+			bt.Add(stats.FmtMoney(budget), "infeasible", "-")
+		}
+	}
+	fmt.Println(bt.String())
+
+	// Verify the knee prediction against reality.
+	var res *transfer.Result
+	_, err := engine.Mgr.Transfer(transfer.Request{
+		From: from, To: to, Size: size,
+		Strategy: transfer.EnvAware, Lanes: knee, Intr: 0.5,
+	}, func(r transfer.Result) { res = &r })
+	if err != nil {
+		panic(err)
+	}
+	for res == nil {
+		engine.Sched.RunFor(10 * time.Second)
+	}
+	fmt.Printf("measured with %d nodes: %v at $%.4f (predicted %v at $%.4f)\n",
+		knee, res.Duration.Round(time.Second), res.Cost,
+		params.TransferTime(size, est, knee).Round(time.Second), params.Cost(size, est, knee))
+}

@@ -1,0 +1,144 @@
+// Package bench is the experiment harness: one runner per table/figure of
+// the reconstructed SAGE evaluation (see DESIGN.md for the per-experiment
+// index and the paper-text mismatch notice). Each experiment builds its own
+// simulated cloud, runs the workload, and returns plain-text tables whose
+// rows mirror what the paper-style figure would plot.
+//
+// Experiments are deterministic given Config.Seed. Config.Quick shrinks
+// sizes and durations so the whole suite runs in seconds under
+// `go test -bench`; full mode is the default for the sagebench binary.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/core"
+	"sage/internal/model"
+	"sage/internal/monitor"
+	"sage/internal/netsim"
+	"sage/internal/simtime"
+	"sage/internal/stats"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Quick shrinks durations/sizes for CI and Go benchmarks.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Experiment is one reproducible table/figure.
+type Experiment struct {
+	ID   int
+	Name string
+	// Figure names the reconstructed paper artifact (e.g. "F3").
+	Figure string
+	Desc   string
+	Run    func(Config) []*stats.Table
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id int) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// newEngine builds a standard engine on the default Azure topology. With
+// variability=false the network is deterministic and exact; with true it
+// runs the full OU + glitch processes.
+func newEngine(seed uint64, variability bool) *core.Engine {
+	nopt := netsim.Options{}
+	if !variability {
+		nopt = netsim.Options{GlitchMeanGap: -1, ProbeNoise: 1e-9}
+	}
+	e := core.NewEngine(core.Options{
+		Seed:    seed,
+		Net:     nopt,
+		Monitor: monitor.Options{Interval: 30 * time.Second},
+		Params:  model.Default(),
+	})
+	return e
+}
+
+// quietTopologyEngine returns an engine with variability disabled and a
+// deterministic topology, with n Medium workers per site.
+func deployedEngine(seed uint64, variability bool, workersPerSite int) *core.Engine {
+	e := newEngine(seed, variability)
+	e.DeployEverywhere(cloud.Medium, workersPerSite)
+	return e
+}
+
+// parMap runs fn(i) for i in [0, n) on up to GOMAXPROCS goroutines. Each
+// invocation must be self-contained (own engine/scheduler); results must be
+// written to pre-indexed slots so output order is deterministic.
+func parMap(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// mb formats a byte count in whole megabytes for row labels.
+func mb(bytes int64) string { return fmt.Sprintf("%dMB", bytes/(1<<20)) }
+
+// pct renders a ratio as a signed percentage.
+func pct(x float64) string { return fmt.Sprintf("%+.1f%%", 100*x) }
+
+// runFor drives a scheduler while a predicate holds, with a hard bound.
+func runUntilDone(s *simtime.Scheduler, done func() bool, step, bound time.Duration) bool {
+	deadline := s.Now() + simtime.Time(bound)
+	for !done() && s.Now() < deadline {
+		s.RunFor(step)
+	}
+	return done()
+}

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/core"
+	"sage/internal/model"
+	"sage/internal/monitor"
+	"sage/internal/netsim"
+	"sage/internal/stats"
+	"sage/internal/stream"
+	"sage/internal/transfer"
+	"sage/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID: 13, Name: "ablation-wsi", Figure: "A1",
+		Desc: "Ablation: estimator choice (WSI vs LSI vs last-sample) inside the full engine",
+		Run:  expAblationWSI,
+	})
+	register(Experiment{
+		ID: 14, Name: "ablation-chunk", Figure: "A2",
+		Desc: "Ablation: chunk size vs transfer time and acknowledgement overhead",
+		Run:  expAblationChunk,
+	})
+}
+
+// expAblationWSI swaps the monitoring estimator under the full streaming
+// engine and measures the end-to-end effect on window latency.
+func expAblationWSI(cfg Config) []*stats.Table {
+	cfg = cfg.withDefaults()
+	dur := 20 * time.Minute
+	if cfg.Quick {
+		dur = 8 * time.Minute
+	}
+	factories := []struct {
+		name    string
+		factory monitor.Factory
+	}{
+		{"Monitor (last sample)", func() monitor.Estimator { return monitor.NewLastSample() }},
+		{"LSI", func() monitor.Estimator { return monitor.NewLSI() }},
+		{"WSI", func() monitor.Estimator { return monitor.NewWSI(12, time.Minute) }},
+	}
+	reps := 5
+	if cfg.Quick {
+		reps = 2
+	}
+	type cell struct{ rep *core.Report }
+	results := make([]cell, len(factories)*reps)
+	parMap(len(results), func(i int) {
+		e := core.NewEngine(core.Options{
+			Seed: cfg.Seed + uint64(i/len(factories))*977,
+			// The regime that motivates sample weighting: capacity drifts
+			// slowly, but one probe in ten is a wild transient.
+			Net:     netsim.Options{ProbeNoise: 0.15, OUTheta: 1.0 / 1800, ProbeOutlierProb: 0.10},
+			Monitor: monitor.Options{Interval: 30 * time.Second, Factory: factories[i%len(factories)].factory},
+			Params:  model.Default(),
+		})
+		e.DeployEverywhere(cloud.Medium, 10)
+		// Let every estimator pass its learning transient before the job.
+		e.Sched.RunFor(15 * time.Minute)
+		job := core.JobSpec{
+			Sources: []core.SourceSpec{
+				{Site: cloud.NorthEU, Rate: workload.ConstantRate(2000)},
+				{Site: cloud.WestEU, Rate: workload.ConstantRate(2000)},
+			},
+			Sink:     cloud.NorthUS,
+			Window:   30 * time.Second,
+			Agg:      stream.Mean,
+			ShipRaw:  true, // raw mode moves enough bytes for routing to matter
+			Strategy: transfer.WidestDynamic,
+			Lanes:    3, Intr: 1,
+		}
+		rep, err := e.Run(job, dur)
+		if err == nil {
+			results[i] = cell{rep}
+		}
+	})
+	tb := stats.NewTable(
+		fmt.Sprintf("A1: estimator ablation under the full engine (dynamic routing, %d seeds)", reps),
+		"estimator", "windows", "mean latency s", "mean p95 s", "mean cost")
+	for fi, f := range factories {
+		var means, p95s, costs []float64
+		windows := 0
+		for r := 0; r < reps; r++ {
+			c := results[r*len(factories)+fi]
+			if c.rep == nil {
+				continue
+			}
+			windows += c.rep.Windows
+			means = append(means, c.rep.LatencySummary.Mean)
+			p95s = append(p95s, c.rep.LatencySummary.P95)
+			costs = append(costs, c.rep.TotalCost)
+		}
+		if len(means) == 0 {
+			tb.Add(f.name, "failed", "", "", "")
+			continue
+		}
+		tb.Add(f.name, fmt.Sprintf("%d", windows),
+			fmt.Sprintf("%.2f", stats.Summarize(means).Mean),
+			fmt.Sprintf("%.2f", stats.Summarize(p95s).Mean),
+			stats.FmtMoney(stats.Summarize(costs).Mean))
+	}
+	return []*stats.Table{tb}
+}
+
+// expAblationChunk sweeps the chunk size for a fixed bulk transfer: small
+// chunks pay acknowledgement and pipelining overhead, huge chunks lose
+// scheduling granularity (fewer opportunities to adapt).
+func expAblationChunk(cfg Config) []*stats.Table {
+	cfg = cfg.withDefaults()
+	size := int64(512 << 20)
+	if cfg.Quick {
+		size = 128 << 20
+	}
+	chunkSizes := []int64{1 << 20, 4 << 20, 16 << 20, 64 << 20}
+	type cell struct {
+		res transfer.Result
+		ok  bool
+	}
+	results := make([]cell, len(chunkSizes))
+	parMap(len(chunkSizes), func(i int) {
+		e := deployedEngine(cfg.Seed, true, 8)
+		e.Sched.RunFor(time.Minute)
+		res, ok := oneTransfer(e, transfer.Request{
+			From: cloud.NorthEU, To: cloud.NorthUS, Size: size,
+			Strategy: transfer.EnvAware, Lanes: 4, Intr: 1,
+			ChunkBytes: chunkSizes[i],
+		}, 96*time.Hour)
+		results[i] = cell{res, ok}
+	})
+	tb := stats.NewTable(fmt.Sprintf("A2: chunk size ablation for %s NEU->NUS (EnvAware, 4 lanes)", mb(size)),
+		"chunk", "chunks", "time", "MB/s", "acks", "cost")
+	for i, cs := range chunkSizes {
+		c := results[i]
+		if !c.ok {
+			tb.Add(stats.FmtBytes(cs), "-", "timeout", "", "", "")
+			continue
+		}
+		tb.Add(stats.FmtBytes(cs), fmt.Sprintf("%d", c.res.Chunks),
+			stats.FmtDur(c.res.Duration), fmt.Sprintf("%.2f", c.res.MBps),
+			fmt.Sprintf("%d", c.res.Acks), stats.FmtMoney(c.res.Cost))
+	}
+	return []*stats.Table{tb}
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/stats"
+	"sage/internal/transfer"
+)
+
+func init() {
+	register(Experiment{
+		ID: 15, Name: "dissemination", Figure: "E1",
+		Desc: "Extension: tree dissemination vs unicast replication to k sites",
+		Run:  expDissemination,
+	})
+}
+
+// expDissemination replicates a dataset from North EU to a growing set of US
+// destinations, tree vs unicast, and reports makespan, source egress and
+// money. The tree's advantage grows with the destination count because the
+// transatlantic segment is crossed once regardless of k.
+func expDissemination(cfg Config) []*stats.Table {
+	cfg = cfg.withDefaults()
+	size := int64(256 << 20)
+	if cfg.Quick {
+		size = 64 << 20
+	}
+	destSets := [][]cloud.SiteID{
+		{cloud.NorthUS},
+		{cloud.NorthUS, cloud.EastUS},
+		{cloud.NorthUS, cloud.EastUS, cloud.SouthUS},
+		{cloud.NorthUS, cloud.EastUS, cloud.SouthUS, cloud.WestUS},
+	}
+	type cell struct {
+		res transfer.DisseminateResult
+		ok  bool
+	}
+	results := make([]cell, len(destSets)*2)
+	parMap(len(results), func(i int) {
+		di := i / 2
+		tree := i%2 == 1
+		e := deployedEngine(cfg.Seed, true, 12)
+		e.Sched.RunFor(time.Minute)
+		var res *transfer.DisseminateResult
+		err := e.Mgr.Disseminate(transfer.DisseminateRequest{
+			From: cloud.NorthEU, Dests: destSets[di], Size: size,
+			Tree: tree, LanesPerEdge: 2, Intr: 1,
+		}, func(x transfer.DisseminateResult) { res = &x })
+		if err != nil {
+			return
+		}
+		if runUntilDone(e.Sched, func() bool { return res != nil }, time.Second, 48*time.Hour) {
+			results[i] = cell{*res, true}
+		}
+	})
+	tb := stats.NewTable(
+		fmt.Sprintf("E1: disseminating %s from NEU to k US sites", mb(size)),
+		"k", "mode", "makespan", "src egress", "WAN bytes", "cost")
+	for di, dests := range destSets {
+		for m, mode := range []string{"unicast", "tree"} {
+			c := results[di*2+m]
+			if !c.ok {
+				tb.Add(fmt.Sprintf("%d", len(dests)), mode, "timeout", "", "", "")
+				continue
+			}
+			tb.Add(fmt.Sprintf("%d", len(dests)), mode,
+				stats.FmtDur(c.res.Makespan),
+				stats.FmtBytes(c.res.SrcEgressBytes),
+				stats.FmtBytes(c.res.WANBytes),
+				stats.FmtMoney(c.res.Cost))
+		}
+	}
+	summary := stats.NewTable("E1: tree advantage vs destination count",
+		"k", "makespan speedup", "src egress saved")
+	for di, dests := range destSets {
+		uni, tree := results[di*2], results[di*2+1]
+		if !uni.ok || !tree.ok {
+			continue
+		}
+		summary.Add(fmt.Sprintf("%d", len(dests)),
+			fmt.Sprintf("%.2fx", uni.res.Makespan.Seconds()/tree.res.Makespan.Seconds()),
+			pct(1-float64(tree.res.SrcEgressBytes)/float64(uni.res.SrcEgressBytes)))
+	}
+	return []*stats.Table{tb, summary}
+}

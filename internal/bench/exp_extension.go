@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/core"
+	"sage/internal/model"
+	"sage/internal/netsim"
+	"sage/internal/stats"
+	"sage/internal/stream"
+	"sage/internal/transfer"
+	"sage/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID: 16, Name: "lossy-streaming", Figure: "E2",
+		Desc: "Extension: datagram vs acknowledged partial shipping under rough weather",
+		Run:  expLossyStreaming,
+	})
+	register(Experiment{
+		ID: 17, Name: "deadline-calibration", Figure: "E3",
+		Desc: "Extension: deadline-driven sizing with and without online gain calibration",
+		Run:  expDeadlineCalibration,
+	})
+}
+
+// expLossyStreaming contrasts the two transports for streaming partials
+// while links glitch: datagrams buy deterministic latency with data loss,
+// acknowledgements buy completeness with latency tails.
+func expLossyStreaming(cfg Config) []*stats.Table {
+	cfg = cfg.withDefaults()
+	dur := 15 * time.Minute
+	if cfg.Quick {
+		dur = 6 * time.Minute
+	}
+	weathers := []struct {
+		name string
+		net  netsim.Options
+	}{
+		{"calm", netsim.Options{GlitchMeanGap: -1}},
+		{"rough", netsim.Options{
+			GlitchMeanGap: 2 * time.Minute, GlitchMeanDur: 60 * time.Second,
+			GlitchDepthMin: 0.05, GlitchDepthMax: 0.3,
+		}},
+	}
+	type cell struct{ rep *core.Report }
+	results := make([]cell, len(weathers)*2)
+	parMap(len(results), func(i int) {
+		wi := i / 2
+		lossy := i%2 == 1
+		e := core.NewEngine(core.Options{Seed: cfg.Seed, Net: weathers[wi].net, Params: model.Default()})
+		e.DeployEverywhere(cloud.Medium, 8)
+		e.Sched.RunFor(time.Minute)
+		job := core.JobSpec{
+			Sources: []core.SourceSpec{
+				{Site: cloud.NorthEU, Rate: workload.ConstantRate(2000)},
+				{Site: cloud.WestEU, Rate: workload.ConstantRate(2000)},
+			},
+			Sink:     cloud.NorthUS,
+			Window:   30 * time.Second,
+			Agg:      stream.Mean,
+			ShipRaw:  true,
+			Lossy:    lossy,
+			Strategy: transfer.EnvAware,
+			Lanes:    3, Intr: 1,
+		}
+		rep, err := e.Run(job, dur)
+		if err == nil {
+			results[i] = cell{rep}
+		}
+	})
+	tb := stats.NewTable("E2: datagram vs acknowledged shipping (raw events, 2 sites)",
+		"weather", "transport", "windows", "p50 s", "p99 s", "loss", "cost")
+	for wi, w := range weathers {
+		for m, mode := range []string{"acked", "datagram"} {
+			c := results[wi*2+m]
+			if c.rep == nil {
+				tb.Add(w.name, mode, "failed", "", "", "", "")
+				continue
+			}
+			tb.Add(w.name, mode,
+				fmt.Sprintf("%d", c.rep.Windows),
+				fmt.Sprintf("%.2f", c.rep.LatencySummary.P50),
+				fmt.Sprintf("%.2f", c.rep.LatencySummary.P99),
+				fmt.Sprintf("%.1f%%", c.rep.MeanLoss*100),
+				stats.FmtMoney(c.rep.TotalCost))
+		}
+	}
+	return []*stats.Table{tb}
+}
+
+// expDeadlineCalibration measures deadline attainment and cost when the
+// model's gain parameter is (a) the static default, (b) deliberately
+// miscalibrated, and (c) miscalibrated but corrected online by the engine's
+// own transfer log.
+func expDeadlineCalibration(cfg Config) []*stats.Table {
+	cfg = cfg.withDefaults()
+	dur := 15 * time.Minute
+	// Tight deadline: one lane cannot make it; the required lane count
+	// depends on the speedup law, so a miscalibrated gain under-provisions.
+	deadline := 3 * time.Second
+	if cfg.Quick {
+		dur = 6 * time.Minute
+	}
+	configs := []struct {
+		name      string
+		gain      float64
+		calibrate bool
+	}{
+		{"static default (0.55)", 0.55, false},
+		{"miscalibrated (0.95)", 0.95, false},
+		{"miscalibrated + online fit", 0.95, true},
+	}
+	type cell struct {
+		rep  *core.Report
+		gain float64
+	}
+	results := make([]cell, len(configs))
+	parMap(len(configs), func(i int) {
+		par := model.Default()
+		par.Gain = configs[i].gain
+		e := core.NewEngine(core.Options{
+			Seed: cfg.Seed,
+			// Variability is clamped to isolate the speedup law: this
+			// experiment is about the parallelism model, not weather.
+			Net: netsim.Options{GlitchMeanGap: -1, ProbeNoise: 0.05,
+				CapacityFloor: 0.95, CapacityCeil: 1.05},
+			Params:   par,
+			Transfer: transfer.Options{ChunkBytes: 16 << 20},
+		})
+		e.DeployEverywhere(cloud.Medium, 12)
+		e.Sched.RunFor(time.Minute)
+		job := core.JobSpec{
+			Sources:           []core.SourceSpec{{Site: cloud.NorthEU, Rate: workload.ConstantRate(8000)}},
+			Sink:              cloud.NorthUS,
+			Window:            30 * time.Second,
+			Agg:               stream.Mean,
+			ShipRaw:           true,
+			Strategy:          transfer.EnvAware,
+			Intr:              1,
+			DeadlinePerWindow: deadline,
+			Calibrate:         configs[i].calibrate,
+		}
+		rep, err := e.Run(job, dur)
+		if err == nil {
+			results[i] = cell{rep: rep, gain: e.GainFor(cloud.NorthEU)}
+		}
+	})
+	tb := stats.NewTable(
+		fmt.Sprintf("E3: deadline %v attainment under gain miscalibration", deadline),
+		"model", "windows", "met deadline", "p95 s", "cost", "planning gain")
+	for i, c := range configs {
+		r := results[i]
+		if r.rep == nil {
+			tb.Add(c.name, "failed", "", "", "", "")
+			continue
+		}
+		met := 0
+		for _, l := range r.rep.Latencies {
+			if l <= deadline {
+				met++
+			}
+		}
+		windows := r.rep.Windows
+		if windows == 0 {
+			windows = 1
+		}
+		tb.Add(c.name,
+			fmt.Sprintf("%d", r.rep.Windows),
+			fmt.Sprintf("%d%%", 100*met/windows),
+			fmt.Sprintf("%.2f", r.rep.LatencySummary.P95),
+			stats.FmtMoney(r.rep.TotalCost),
+			fmt.Sprintf("%.2f", r.gain))
+	}
+	return []*stats.Table{tb}
+}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/stats"
+	"sage/internal/transfer"
+)
+
+func init() {
+	register(Experiment{
+		ID: 11, Name: "model-error", Figure: "T1",
+		Desc: "Prediction error of the cost/time model across site pairs and node counts",
+		Run:  expModelError,
+	})
+	register(Experiment{
+		ID: 12, Name: "budget-solver", Figure: "T2",
+		Desc: "Budget inversion: nodes chosen and achieved cost/time under a budget sweep",
+		Run:  expBudgetSolver,
+	})
+}
+
+// expModelError predicts transfer time and cost with the model, executes the
+// same transfers, and reports MAPE.
+func expModelError(cfg Config) []*stats.Table {
+	cfg = cfg.withDefaults()
+	size := int64(256 << 20)
+	if cfg.Quick {
+		size = 128 << 20
+	}
+	pairs := []struct{ from, to cloud.SiteID }{
+		{cloud.NorthEU, cloud.NorthUS},
+		{cloud.NorthEU, cloud.WestEU},
+		{cloud.SouthUS, cloud.NorthUS},
+		{cloud.WestEU, cloud.EastUS},
+	}
+	nodeCounts := []int{1, 2, 4, 8}
+	type cell struct {
+		predT, actT float64
+		predC, actC float64
+		ok          bool
+	}
+	results := make([]cell, len(pairs)*len(nodeCounts))
+	parMap(len(results), func(i int) {
+		p := pairs[i/len(nodeCounts)]
+		n := nodeCounts[i%len(nodeCounts)]
+		e := deployedEngine(cfg.Seed, false, 10)
+		e.Sched.RunFor(2 * time.Minute) // learn the links
+		est, _ := e.Monitor.Estimate(p.from, p.to)
+		par := e.Params
+		par.Intr = 1
+		par.Class = cloud.Medium // the deployed worker class
+		predT := par.TransferTime(size, est, n)
+		predC := par.Cost(size, est, n)
+		res, ok := oneTransfer(e, transfer.Request{
+			From: p.from, To: p.to, Size: size,
+			Strategy: transfer.EnvAware, Lanes: n, Intr: 1,
+		}, 48*time.Hour)
+		if ok {
+			results[i] = cell{
+				predT: predT.Seconds(), actT: res.Duration.Seconds(),
+				predC: predC, actC: res.Cost, ok: true,
+			}
+		}
+	})
+	tb := stats.NewTable("T1: model predictions vs measured (quiet network)",
+		"pair", "nodes", "pred time", "actual time", "pred cost", "actual cost")
+	var predT, actT, predC, actC []float64
+	for pi, p := range pairs {
+		for ni, n := range nodeCounts {
+			c := results[pi*len(nodeCounts)+ni]
+			if !c.ok {
+				continue
+			}
+			tb.Add(fmt.Sprintf("%s->%s", p.from, p.to), fmt.Sprintf("%d", n),
+				fmt.Sprintf("%.1fs", c.predT), fmt.Sprintf("%.1fs", c.actT),
+				stats.FmtMoney(c.predC), stats.FmtMoney(c.actC))
+			predT = append(predT, c.predT)
+			actT = append(actT, c.actT)
+			predC = append(predC, c.predC)
+			actC = append(actC, c.actC)
+		}
+	}
+	summary := stats.NewTable("T1: aggregate prediction error", "metric", "MAPE")
+	summary.Add("transfer time", pct(stats.MAPE(predT, actT)))
+	summary.Add("monetary cost", pct(stats.MAPE(predC, actC)))
+	return []*stats.Table{tb, summary}
+}
+
+// expBudgetSolver sweeps a per-transfer budget, lets the model choose the
+// node count, and verifies the achieved cost respects the budget.
+func expBudgetSolver(cfg Config) []*stats.Table {
+	cfg = cfg.withDefaults()
+	size := int64(1 << 30)
+	if cfg.Quick {
+		size = 512 << 20
+	}
+	// Egress is a constant floor (≈$0.12/GB) paid regardless of node count;
+	// the budget knob governs the variable VM-time on top of it, so the
+	// interesting budgets sit just above the floor.
+	egressFloor := 0.12 * float64(size) / (1 << 30)
+	budgets := []float64{
+		egressFloor * 0.95, // infeasible: below the egress floor
+		egressFloor * 1.08,
+		egressFloor * 1.10,
+		egressFloor * 1.12,
+		egressFloor * 1.25,
+	}
+	type cell struct {
+		nodes        int
+		predT        time.Duration
+		res          transfer.Result
+		ok, feasible bool
+	}
+	results := make([]cell, len(budgets))
+	parMap(len(budgets), func(i int) {
+		e := deployedEngine(cfg.Seed, false, 12)
+		e.Sched.RunFor(2 * time.Minute)
+		est, _ := e.Monitor.Estimate(cloud.NorthEU, cloud.NorthUS)
+		par := e.Params
+		par.Intr = 1
+		par.Class = cloud.Medium // the deployed worker class
+		n, feasible := par.NodesForBudget(size, est, budgets[i], 10)
+		results[i].feasible = feasible
+		if !feasible {
+			return
+		}
+		results[i].nodes = n
+		results[i].predT = par.TransferTime(size, est, n)
+		res, ok := oneTransfer(e, transfer.Request{
+			From: cloud.NorthEU, To: cloud.NorthUS, Size: size,
+			Strategy: transfer.EnvAware, Lanes: n, Intr: 1,
+		}, 48*time.Hour)
+		results[i].res, results[i].ok = res, ok
+	})
+	tb := stats.NewTable(fmt.Sprintf("T2: budget-driven node selection for %s NEU->NUS", mb(size)),
+		"budget", "nodes chosen", "pred time", "actual time", "actual cost", "within budget")
+	for i, b := range budgets {
+		c := results[i]
+		if !c.feasible {
+			tb.Add(stats.FmtMoney(b), "infeasible", "-", "-", "-", "-")
+			continue
+		}
+		if !c.ok {
+			tb.Add(stats.FmtMoney(b), fmt.Sprintf("%d", c.nodes), stats.FmtDur(c.predT), "timeout", "-", "-")
+			continue
+		}
+		within := "yes"
+		if c.res.Cost > b*1.1 { // 10% tolerance for model error
+			within = "NO"
+		}
+		tb.Add(stats.FmtMoney(b), fmt.Sprintf("%d", c.nodes),
+			stats.FmtDur(c.predT), stats.FmtDur(c.res.Duration),
+			stats.FmtMoney(c.res.Cost), within)
+	}
+	return []*stats.Table{tb}
+}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/core"
+	"sage/internal/model"
+	"sage/internal/monitor"
+	"sage/internal/netsim"
+	"sage/internal/route"
+	"sage/internal/stats"
+	"sage/internal/transfer"
+)
+
+func init() {
+	register(Experiment{
+		ID: 8, Name: "multidc-paths", Figure: "F8",
+		Desc: "Multi-datacenter path strategies: throughput over time and vs node count",
+		Run:  expMultiDC,
+	})
+}
+
+// multiDCStrategies are the four contenders of the multi-path figure.
+var multiDCStrategies = []struct {
+	name     string
+	strategy transfer.Strategy
+}{
+	{"DirectLink", transfer.ParallelStatic},
+	{"ShortestPath-static", transfer.WidestStatic},
+	{"ShortestPath-dynamic", transfer.WidestDynamic},
+	{"SAGE-multipath", transfer.MultipathDynamic},
+}
+
+// lanesForNodes converts a total node budget into the lane count of a
+// strategy, accounting for lane length (sites per chain).
+func lanesForNodes(e *core.Engine, s transfer.Strategy, nodes int) int {
+	perLane := 2
+	if s == transfer.WidestStatic || s == transfer.WidestDynamic {
+		g := route.GraphFromEstimates(e.Net.Topology().SiteIDs(), func(a, b cloud.SiteID) float64 {
+			if l := e.Net.Topology().Link(a, b); l != nil {
+				return l.BaseMBps
+			}
+			return 0
+		})
+		if p, ok := g.WidestPath(cloud.NorthEU, cloud.NorthUS); ok {
+			perLane = len(p.Sites)
+		}
+	}
+	lanes := nodes / perLane
+	if lanes < 1 {
+		lanes = 1
+	}
+	return lanes
+}
+
+// runWindowed starts an effectively endless transfer and samples progress at
+// minute boundaries for the observation window, returning cumulative MB at
+// each minute.
+func runWindowed(cfg Config, strategy transfer.Strategy, nodes int, window time.Duration) []float64 {
+	// Rough weather: frequent, deep, long capacity glitches on every link.
+	// Static plans ride their chosen path down; dynamic plans re-route at
+	// each replan interval. No strategy is singled out.
+	e := core.NewEngine(core.Options{
+		Seed: cfg.Seed,
+		Net: netsim.Options{
+			GlitchMeanGap: 3 * time.Minute, GlitchMeanDur: 90 * time.Second,
+			GlitchDepthMin: 0.1, GlitchDepthMax: 0.4,
+		},
+		Monitor: monitor.Options{Interval: 15 * time.Second},
+		Params:  model.Default(),
+	})
+	e.DeployEverywhere(cloud.Medium, nodes+8)
+	e.Sched.RunFor(time.Minute) // monitor warm-up
+	req := transfer.Request{
+		From: cloud.NorthEU, To: cloud.NorthUS,
+		Size:     1 << 40, // far more than can move in the window
+		Strategy: strategy, Intr: 1,
+		Lanes:      lanesForNodes(e, strategy, nodes),
+		NodeBudget: nodes,
+	}
+	h, err := e.Mgr.Transfer(req, nil)
+	if err != nil {
+		return nil
+	}
+	minutes := int(window / time.Minute)
+	out := make([]float64, 0, minutes)
+	for m := 0; m < minutes; m++ {
+		e.Sched.RunFor(time.Minute)
+		done, _ := h.Progress()
+		out = append(out, float64(done)/1e6)
+	}
+	return out
+}
+
+func expMultiDC(cfg Config) []*stats.Table {
+	cfg = cfg.withDefaults()
+	window := 10 * time.Minute
+	nodeCounts := []int{5, 15, 25, 35}
+	fixedNodes := 25
+	if cfg.Quick {
+		window = 4 * time.Minute
+		nodeCounts = []int{5, 15, 25}
+	}
+
+	// (a) cumulative throughput over time at a fixed node count.
+	series := make([][]float64, len(multiDCStrategies))
+	parMap(len(multiDCStrategies), func(i int) {
+		series[i] = runWindowed(cfg, multiDCStrategies[i].strategy, fixedNodes, window)
+	})
+	ta := stats.NewTable(
+		fmt.Sprintf("F8a: cumulative MB moved NEU->NUS over time (%d nodes)", fixedNodes),
+		"minute", multiDCStrategies[0].name, multiDCStrategies[1].name,
+		multiDCStrategies[2].name, multiDCStrategies[3].name)
+	for m := 0; m < len(series[0]); m++ {
+		row := []string{fmt.Sprintf("%d", m+1)}
+		for i := range multiDCStrategies {
+			v := 0.0
+			if m < len(series[i]) {
+				v = series[i][m]
+			}
+			row = append(row, fmt.Sprintf("%.0f", v))
+		}
+		ta.Add(row...)
+	}
+
+	// (b) achieved throughput vs node count over a fixed window.
+	type cell struct{ mbps float64 }
+	results := make([]cell, len(nodeCounts)*len(multiDCStrategies))
+	parMap(len(results), func(i int) {
+		ni := i / len(multiDCStrategies)
+		si := i % len(multiDCStrategies)
+		s := runWindowed(cfg, multiDCStrategies[si].strategy, nodeCounts[ni], window)
+		if len(s) > 0 {
+			results[i] = cell{s[len(s)-1] / window.Seconds()}
+		}
+	})
+	tb := stats.NewTable("F8b: achieved throughput (MB/s) vs node count",
+		"nodes", multiDCStrategies[0].name, multiDCStrategies[1].name,
+		multiDCStrategies[2].name, multiDCStrategies[3].name)
+	for ni, n := range nodeCounts {
+		row := []string{fmt.Sprintf("%d", n)}
+		for si := range multiDCStrategies {
+			row = append(row, fmt.Sprintf("%.2f", results[ni*len(multiDCStrategies)+si].mbps))
+		}
+		tb.Add(row...)
+	}
+	return []*stats.Table{ta, tb}
+}

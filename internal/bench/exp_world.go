@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/core"
+	"sage/internal/model"
+	"sage/internal/monitor"
+	"sage/internal/netsim"
+	"sage/internal/stats"
+	"sage/internal/transfer"
+	"sage/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID: 18, Name: "worldwide", Figure: "E4",
+		Desc: "Extension: planet-scale gather over the 9-site topology with tiered egress pricing",
+		Run:  expWorldwide,
+	})
+}
+
+// worldEngine builds an engine on the 9-site worldwide topology.
+func worldEngine(seed uint64, workers int) *core.Engine {
+	e := core.NewEngine(core.Options{
+		Seed:     seed,
+		Topology: cloud.WorldWide(),
+		Net:      netsim.Options{},
+		Monitor:  monitor.Options{Interval: 30 * time.Second},
+		Params:   model.Default(),
+	})
+	e.DeployEverywhere(cloud.Medium, workers)
+	return e
+}
+
+// expWorldwide gathers scientific partials from five continents to North
+// Central US, comparing direct environment-aware lanes with multi-datacenter
+// paths. The interesting planet-scale effects: Asia and Brazil pay tiered
+// egress, and their thin direct links to the sink make relay routes through
+// better-connected sites worthwhile.
+func expWorldwide(cfg Config) []*stats.Table {
+	cfg = cfg.withDefaults()
+	files := 200
+	fileBytes := int64(4 << 20)
+	if cfg.Quick {
+		files = 50
+	}
+	sites := []cloud.SiteID{cloud.NorthEU, cloud.WestEU, cloud.SoutheastAsia,
+		cloud.EastAsia, cloud.SouthBrazil}
+	strategies := []transfer.Strategy{transfer.EnvAware, transfer.MultipathDynamic}
+
+	type cell struct {
+		rep *core.GatherReport
+	}
+	results := make([]cell, len(strategies))
+	parMap(len(strategies), func(i int) {
+		e := worldEngine(cfg.Seed, 10)
+		e.Sched.RunFor(2 * time.Minute)
+		rep, err := e.Gather(core.GatherSpec{
+			Partials: workload.Partials{Sites: sites, Files: files, FileBytes: fileBytes},
+			Sink:     cloud.NorthUS,
+			Strategy: strategies[i],
+			Lanes:    3, NodeBudget: 9, Intr: 1,
+		})
+		if err == nil {
+			results[i] = cell{rep}
+		}
+	})
+
+	tb := stats.NewTable(
+		fmt.Sprintf("E4: gathering %d x %s from 5 continents to NUS", files, stats.FmtBytes(fileBytes)),
+		"source", "direct (EnvAware)", "multipath", "multipath cost", "egress $/GB")
+	topo := cloud.WorldWide()
+	for _, site := range sites {
+		var cells [2]core.SiteGather
+		found := true
+		for si := range strategies {
+			ok := false
+			if results[si].rep != nil {
+				for _, sg := range results[si].rep.Sites {
+					if sg.Site == site {
+						cells[si] = sg
+						ok = true
+					}
+				}
+			}
+			found = found && ok
+		}
+		if !found {
+			tb.Add(string(site), "timeout", "", "", "")
+			continue
+		}
+		tb.Add(string(site),
+			stats.FmtDur(cells[0].Duration),
+			stats.FmtDur(cells[1].Duration),
+			stats.FmtMoney(cells[1].Cost),
+			fmt.Sprintf("%.2f", topo.Site(site).EgressPerGB))
+	}
+	if results[0].rep != nil && results[1].rep != nil {
+		sum := stats.NewTable("E4: totals", "strategy", "makespan", "total cost")
+		sum.Add("EnvAware (direct)", stats.FmtDur(results[0].rep.Makespan),
+			stats.FmtMoney(results[0].rep.TotalCost))
+		sum.Add("MultipathDynamic", stats.FmtDur(results[1].rep.Makespan),
+			stats.FmtMoney(results[1].rep.TotalCost))
+		return []*stats.Table{tb, sum}
+	}
+	return []*stats.Table{tb}
+}

@@ -1,0 +1,63 @@
+package cloud
+
+import "time"
+
+// Canonical site identifiers of the worldwide topology (in addition to the
+// six EU/US sites of DefaultAzure).
+const (
+	SoutheastAsia SiteID = "SEA"
+	EastAsia      SiteID = "EAS"
+	SouthBrazil   SiteID = "SBR"
+)
+
+// WorldWide returns a nine-site topology: the six EU/US datacenters of
+// DefaultAzure plus Southeast Asia (Singapore), East Asia (Hong Kong) and
+// South Brazil (São Paulo). Trans-Pacific and South-Atlantic links are
+// slower and jitterier than the EU/US mesh, and egress out of Asia and
+// South America is priced higher — the 2013-era zone structure that makes
+// route and budget choices geographically interesting.
+func WorldWide() *Topology {
+	t := DefaultAzure()
+	for _, s := range []*Site{
+		{ID: SoutheastAsia, Name: "Southeast Asia (Singapore)", Region: "APAC", EgressPerGB: 0.19},
+		{ID: EastAsia, Name: "East Asia (Hong Kong)", Region: "APAC", EgressPerGB: 0.19},
+		{ID: SouthBrazil, Name: "South Brazil (Sao Paulo)", Region: "SA", EgressPerGB: 0.25},
+	} {
+		t.AddSite(s)
+	}
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	links := []LinkSpec{
+		// Intra-Asia.
+		{From: SoutheastAsia, To: EastAsia, BaseMBps: 16, RTT: ms(38), Jitter: 0.22},
+		// Asia <-> US West (trans-Pacific).
+		{From: SoutheastAsia, To: WestUS, BaseMBps: 7, RTT: ms(170), Jitter: 0.34},
+		{From: EastAsia, To: WestUS, BaseMBps: 8, RTT: ms(155), Jitter: 0.32},
+		// Asia <-> rest of US.
+		{From: SoutheastAsia, To: NorthUS, BaseMBps: 5, RTT: ms(205), Jitter: 0.36},
+		{From: SoutheastAsia, To: SouthUS, BaseMBps: 5, RTT: ms(212), Jitter: 0.36},
+		{From: SoutheastAsia, To: EastUS, BaseMBps: 4.5, RTT: ms(226), Jitter: 0.38},
+		{From: EastAsia, To: NorthUS, BaseMBps: 6, RTT: ms(188), Jitter: 0.34},
+		{From: EastAsia, To: SouthUS, BaseMBps: 5.5, RTT: ms(195), Jitter: 0.34},
+		{From: EastAsia, To: EastUS, BaseMBps: 5, RTT: ms(210), Jitter: 0.36},
+		// Asia <-> EU (the long way).
+		{From: SoutheastAsia, To: NorthEU, BaseMBps: 4, RTT: ms(240), Jitter: 0.40},
+		{From: SoutheastAsia, To: WestEU, BaseMBps: 4.5, RTT: ms(232), Jitter: 0.40},
+		{From: EastAsia, To: NorthEU, BaseMBps: 3.5, RTT: ms(252), Jitter: 0.40},
+		{From: EastAsia, To: WestEU, BaseMBps: 4, RTT: ms(245), Jitter: 0.40},
+		// Brazil <-> US (South Atlantic ring lands in the East).
+		{From: SouthBrazil, To: EastUS, BaseMBps: 8, RTT: ms(120), Jitter: 0.30},
+		{From: SouthBrazil, To: SouthUS, BaseMBps: 7, RTT: ms(138), Jitter: 0.30},
+		{From: SouthBrazil, To: NorthUS, BaseMBps: 6, RTT: ms(150), Jitter: 0.32},
+		{From: SouthBrazil, To: WestUS, BaseMBps: 5, RTT: ms(178), Jitter: 0.34},
+		// Brazil <-> EU.
+		{From: SouthBrazil, To: NorthEU, BaseMBps: 4.5, RTT: ms(190), Jitter: 0.36},
+		{From: SouthBrazil, To: WestEU, BaseMBps: 5, RTT: ms(182), Jitter: 0.36},
+		// Brazil <-> Asia: effectively routed around the world.
+		{From: SouthBrazil, To: SoutheastAsia, BaseMBps: 2.5, RTT: ms(330), Jitter: 0.44},
+		{From: SouthBrazil, To: EastAsia, BaseMBps: 2.5, RTT: ms(340), Jitter: 0.44},
+	}
+	for _, l := range links {
+		t.AddSymmetricLink(l)
+	}
+	return t
+}

@@ -1,0 +1,68 @@
+package cloud
+
+import "testing"
+
+func TestWorldWideSites(t *testing.T) {
+	topo := WorldWide()
+	if len(topo.SiteIDs()) != 9 {
+		t.Fatalf("sites = %d, want 9", len(topo.SiteIDs()))
+	}
+	for _, id := range []SiteID{SoutheastAsia, EastAsia, SouthBrazil} {
+		if topo.Site(id) == nil {
+			t.Fatalf("missing site %s", id)
+		}
+	}
+}
+
+func TestWorldWideFullMesh(t *testing.T) {
+	topo := WorldWide()
+	ids := topo.SiteIDs()
+	for _, a := range ids {
+		for _, b := range ids {
+			if a == b {
+				continue
+			}
+			if topo.Link(a, b) == nil {
+				t.Fatalf("missing link %s -> %s", a, b)
+			}
+		}
+	}
+}
+
+func TestWorldWideEgressTiers(t *testing.T) {
+	topo := WorldWide()
+	us := topo.Site(NorthUS).EgressPerGB
+	asia := topo.Site(SoutheastAsia).EgressPerGB
+	brazil := topo.Site(SouthBrazil).EgressPerGB
+	if !(us < asia && asia < brazil) {
+		t.Fatalf("egress tiers wrong: US %v, APAC %v, SA %v", us, asia, brazil)
+	}
+}
+
+func TestWorldWideDistanceOrdering(t *testing.T) {
+	topo := WorldWide()
+	// Trans-Pacific slower than intra-Asia; Brazil-Asia slowest of all.
+	intraAsia := topo.Link(SoutheastAsia, EastAsia)
+	transPacific := topo.Link(SoutheastAsia, WestUS)
+	aroundTheWorld := topo.Link(SouthBrazil, SoutheastAsia)
+	if transPacific.BaseMBps >= intraAsia.BaseMBps {
+		t.Fatal("trans-Pacific should be slower than intra-Asia")
+	}
+	if aroundTheWorld.BaseMBps >= transPacific.BaseMBps {
+		t.Fatal("Brazil-Asia should be the slowest")
+	}
+	if aroundTheWorld.RTT <= transPacific.RTT {
+		t.Fatal("Brazil-Asia should have the highest RTT")
+	}
+}
+
+func TestWorldWidePreservesDefaultAzure(t *testing.T) {
+	world := WorldWide()
+	base := DefaultAzure()
+	for _, l := range base.Links() {
+		wl := world.Link(l.From, l.To)
+		if wl == nil || wl.BaseMBps != l.BaseMBps {
+			t.Fatalf("world changed base link %s->%s", l.From, l.To)
+		}
+	}
+}

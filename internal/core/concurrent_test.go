@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/stream"
+	"sage/internal/transfer"
+	"sage/internal/workload"
+)
+
+func TestTwoJobsRunConcurrently(t *testing.T) {
+	e := quietEngine(71)
+	jobA := JobSpec{
+		Sources:  []SourceSpec{{Site: cloud.NorthEU, Rate: workload.ConstantRate(500)}},
+		Sink:     cloud.NorthUS,
+		Window:   30 * time.Second,
+		Agg:      stream.Mean,
+		Strategy: transfer.EnvAware,
+		Intr:     1,
+	}
+	jobB := JobSpec{
+		Sources:  []SourceSpec{{Site: cloud.WestEU, Rate: workload.ConstantRate(800)}},
+		Sink:     cloud.EastUS,
+		Window:   time.Minute,
+		Agg:      stream.Count,
+		Strategy: transfer.Direct,
+		Intr:     1,
+	}
+	ra, err := e.Start(jobA, 4*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := e.Start(jobB, 4*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := e.Wait(4*time.Minute, ra, rb)
+	if reports[0].Windows != 8 {
+		t.Fatalf("job A windows = %d, want 8", reports[0].Windows)
+	}
+	if reports[1].Windows != 4 {
+		t.Fatalf("job B windows = %d, want 4", reports[1].Windows)
+	}
+	if reports[0].Incomplete+reports[1].Incomplete != 0 {
+		t.Fatal("concurrent jobs lost windows")
+	}
+	if reports[0].Global.Keys() == 0 || reports[1].Global.Keys() == 0 {
+		t.Fatal("missing global aggregates")
+	}
+}
+
+func TestConcurrentJobsContendForLinks(t *testing.T) {
+	// Two heavy raw-shipping jobs over the SAME link must be slower than
+	// one of them alone — the contention the multi-tenant engine must
+	// survive, and the evidence both actually share the simulated WAN.
+	solo := func() float64 {
+		e := quietEngine(72)
+		rep, err := e.Run(rawJob(cloud.NorthEU, cloud.NorthUS, 4000), 3*time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.LatencySummary.Mean
+	}()
+	shared := func() float64 {
+		e := quietEngine(72)
+		ra, err := e.Start(rawJob(cloud.NorthEU, cloud.NorthUS, 4000), 3*time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := e.Start(rawJob(cloud.NorthEU, cloud.NorthUS, 4000), 3*time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports := e.Wait(3*time.Minute, ra, rb)
+		return reports[0].LatencySummary.Mean
+	}()
+	if shared <= solo {
+		t.Fatalf("contended latency %.2fs should exceed solo %.2fs", shared, solo)
+	}
+}
+
+func rawJob(from, to cloud.SiteID, rate float64) JobSpec {
+	return JobSpec{
+		Sources:  []SourceSpec{{Site: from, Rate: workload.ConstantRate(rate)}},
+		Sink:     to,
+		Window:   30 * time.Second,
+		Agg:      stream.Mean,
+		ShipRaw:  true,
+		Strategy: transfer.EnvAware,
+		Lanes:    2,
+		Intr:     1,
+	}
+}
+
+func TestJobRunDoneSemantics(t *testing.T) {
+	e := quietEngine(73)
+	run, err := e.Start(rawJob(cloud.NorthEU, cloud.NorthUS, 100), 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Done() {
+		t.Fatal("run done before the clock moved")
+	}
+	e.Sched.RunFor(time.Minute)
+	if run.Done() {
+		t.Fatal("run done halfway")
+	}
+	e.Wait(time.Minute, run)
+	if !run.Done() {
+		t.Fatal("run not done after Wait")
+	}
+}

@@ -1,0 +1,563 @@
+// Package core is SAGE's engine: it runs streaming analysis jobs whose
+// sources are scattered across cloud datacenters, aggregating locally at
+// each site, shipping windowed partial results over the wide area with a
+// cost/time-aware transfer strategy, and merging them at a sink site (the
+// meta-reducer). It ties together the monitoring, modeling, routing and
+// transfer subsystems.
+//
+// The engine's scheduling loop is the paper-level contribution: for every
+// closed window at every source site it consults the monitor's current
+// throughput estimate, sizes the transfer (number of worker lanes or the
+// multipath node budget) with the cost/time model — optionally inverting a
+// per-window monetary budget — and dispatches the partial through the
+// transfer service, which adapts to the environment while the data moves.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/model"
+	"sage/internal/monitor"
+	"sage/internal/netsim"
+	"sage/internal/rng"
+	"sage/internal/simtime"
+	"sage/internal/stats"
+	"sage/internal/stream"
+	"sage/internal/trace"
+	"sage/internal/transfer"
+	"sage/internal/workload"
+)
+
+// Engine hosts jobs on a simulated geo-distributed cloud.
+type Engine struct {
+	Sched   *simtime.Scheduler
+	Net     *netsim.Network
+	Monitor *monitor.Service
+	Mgr     *transfer.Manager
+	Params  model.Params
+	// Calib accumulates (lanes, duration) observations per source site for
+	// online gain refitting (used when JobSpec.Calibrate is set).
+	Calib *Calibrator
+	// Trace records the run's timeline when configured.
+	Trace *trace.Recorder
+}
+
+// GainFor returns the gain used for planning transfers out of a site: the
+// calibrated value when enough observations exist, the static parameter
+// otherwise.
+func (e *Engine) GainFor(site cloud.SiteID) float64 {
+	if e.Calib != nil {
+		if g, ok := e.Calib.Gain(site, e.Sched.Now()); ok {
+			return g
+		}
+	}
+	return e.Params.Gain
+}
+
+// Options configures engine construction.
+type Options struct {
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Topology defaults to cloud.DefaultAzure().
+	Topology *cloud.Topology
+	// Net, Monitor, Transfer tune the subsystems; zero values take their
+	// package defaults.
+	Net      netsim.Options
+	Monitor  monitor.Options
+	Transfer transfer.Options
+	// Params is the cost/time model calibration (default model.Default()).
+	Params model.Params
+	// Trace, when non-nil, records the run's timeline (transfers, replans,
+	// window completions).
+	Trace *trace.Recorder
+}
+
+// NewEngine wires a full SAGE stack and starts monitoring.
+func NewEngine(opt Options) *Engine {
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.Topology == nil {
+		opt.Topology = cloud.DefaultAzure()
+	}
+	if opt.Params.Class.Name == "" {
+		opt.Params = model.Default()
+	}
+	sched := simtime.New()
+	root := rng.New(opt.Seed)
+	net := netsim.New(sched, opt.Topology, root, opt.Net)
+	mon := monitor.NewService(net, opt.Monitor)
+	mon.Start()
+	opt.Transfer.Params = opt.Params
+	opt.Transfer.Trace = opt.Trace
+	mgr := transfer.NewManager(net, mon, opt.Transfer)
+	return &Engine{Sched: sched, Net: net, Monitor: mon, Mgr: mgr,
+		Params: opt.Params, Calib: NewCalibrator(), Trace: opt.Trace}
+}
+
+// Deploy provisions worker VMs in one site.
+func (e *Engine) Deploy(site cloud.SiteID, class cloud.VMClass, n int) {
+	e.Mgr.Deploy(site, class, n)
+}
+
+// DeployEverywhere provisions an identical pool in every site.
+func (e *Engine) DeployEverywhere(class cloud.VMClass, n int) {
+	for _, id := range e.Net.Topology().SiteIDs() {
+		e.Mgr.Deploy(id, class, n)
+	}
+}
+
+// SourceSpec describes one stream source site.
+type SourceSpec struct {
+	Site cloud.SiteID
+	// Rate is the event rate over time (events/second).
+	Rate workload.RateFunc
+	// Gen produces the events (default: sensor generator with 100 keys).
+	Gen *workload.SensorGen
+	// EventBytes is the serialized size of one raw event, used when the
+	// job ships raw events instead of partials (default 200).
+	EventBytes int64
+}
+
+// JobSpec describes a geo-distributed streaming job.
+type JobSpec struct {
+	Sources []SourceSpec
+	// Sink is the meta-reducer site.
+	Sink cloud.SiteID
+	// Window is the tumbling window width.
+	Window time.Duration
+	// Agg is the keyed aggregation applied locally and merged globally.
+	Agg stream.AggKind
+	// Map optionally transforms/filters events before aggregation.
+	Map stream.MapFunc
+	// ShipRaw disables local aggregation: every raw event is shipped to
+	// the sink (the centralized baseline). Default false — SAGE mode.
+	ShipRaw bool
+	// Strategy is the wide-area transfer strategy for partials.
+	Strategy transfer.Strategy
+	// Lanes / NodeBudget / MaxPaths / Intr parameterize transfers
+	// (see transfer.Request).
+	Lanes, NodeBudget, MaxPaths int
+	Intr                        float64
+	// BudgetPerWindow, when positive, lets the cost model choose the node
+	// count each window: the largest count whose predicted cost stays
+	// within the budget.
+	BudgetPerWindow float64
+	// DeadlinePerWindow, when positive, lets the model choose the
+	// *smallest* node count whose predicted transfer time meets the
+	// deadline — the cheapest configuration that is fast enough. Mutually
+	// exclusive with BudgetPerWindow.
+	DeadlinePerWindow time.Duration
+	// Calibrate enables online gain calibration: the engine refits the
+	// parallel-speedup slope per source site from its own transfer log and
+	// uses the fitted value in budget/deadline sizing.
+	Calibrate bool
+	// Lossy ships partials as sender-paced datagrams without
+	// acknowledgements: window latency becomes deterministic
+	// (bytes/estimated rate) at the price of losing whatever the network
+	// drops. Report.BytesLost and MeanLoss quantify the damage. Lossy
+	// ignores Strategy.
+	Lossy bool
+	// RiskFactor, when positive, sizes budget/deadline transfers against
+	// the conservative estimate mean − RiskFactor·σ instead of the mean:
+	// more nodes are provisioned when the link has been volatile.
+	RiskFactor float64
+	// PartialOverheadBytes is the fixed envelope around one partial
+	// (default 1024).
+	PartialOverheadBytes int64
+}
+
+func (j *JobSpec) withDefaults() error {
+	if len(j.Sources) == 0 {
+		return errors.New("core: job needs at least one source")
+	}
+	if j.Window <= 0 {
+		return errors.New("core: job needs a positive window")
+	}
+	if j.Sink == "" {
+		return errors.New("core: job needs a sink site")
+	}
+	for i := range j.Sources {
+		if j.Sources[i].Rate == nil {
+			return fmt.Errorf("core: source %d has no rate", i)
+		}
+		if j.Sources[i].EventBytes <= 0 {
+			j.Sources[i].EventBytes = 200
+		}
+	}
+	if j.PartialOverheadBytes <= 0 {
+		j.PartialOverheadBytes = 1024
+	}
+	if j.BudgetPerWindow > 0 && j.DeadlinePerWindow > 0 {
+		return errors.New("core: BudgetPerWindow and DeadlinePerWindow are mutually exclusive")
+	}
+	if j.Lanes <= 0 {
+		j.Lanes = 2
+	}
+	if j.NodeBudget <= 0 {
+		j.NodeBudget = 8
+	}
+	return nil
+}
+
+// SiteWindow reports one site's partial for one window.
+type SiteWindow struct {
+	Site     cloud.SiteID
+	Window   stream.Window
+	Events   int
+	Keys     int
+	Bytes    int64
+	Lanes    int
+	Transfer time.Duration
+	Cost     float64
+}
+
+// Report summarizes a finished job run.
+type Report struct {
+	// Windows is the number of globally completed windows.
+	Windows int
+	// Incomplete counts windows whose partials never all arrived within
+	// the grace period.
+	Incomplete int
+	// Latencies holds, per completed window, the time from window close to
+	// the arrival of its last partial at the sink.
+	Latencies []time.Duration
+	// LatencySummary summarizes Latencies in seconds.
+	LatencySummary stats.Summary
+	// SiteWindows details every shipped partial.
+	SiteWindows []SiteWindow
+	// TotalEvents, TotalBytes, TotalCost aggregate the run.
+	TotalEvents int64
+	TotalBytes  int64
+	TotalCost   float64
+	// BytesLost and MeanLoss quantify datagram losses for lossy jobs
+	// (always zero for acknowledged transport).
+	BytesLost int64
+	MeanLoss  float64
+	// Global is the merged aggregate over every completed window — the
+	// analysis answer.
+	Global *stream.KeyedAgg
+}
+
+// sourceState is the engine's per-source runtime.
+type sourceState struct {
+	spec    SourceSpec
+	gen     *workload.SensorGen
+	agg     *stream.WindowAgg
+	shipped int // partials shipped, drives calibration exploration
+}
+
+// windowState tracks global completion of one window at the sink.
+type windowState struct {
+	window  stream.Window
+	arrived int
+	merged  *stream.KeyedAgg
+}
+
+// JobRun is a started job. Multiple jobs may run concurrently on one
+// engine, competing for the same links and worker pools; drive them with
+// Engine.Wait.
+type JobRun struct {
+	job       JobSpec
+	rep       *Report
+	windows   map[simtime.Time]*windowState
+	inflight  int
+	processed int
+	expected  int
+	finalized bool
+}
+
+// Done reports whether all windows have been processed and every partial
+// has landed.
+func (r *JobRun) Done() bool { return r.processed >= r.expected && r.inflight == 0 }
+
+// finalize computes the report's derived fields.
+func (r *JobRun) finalize() *Report {
+	if r.finalized {
+		return r.rep
+	}
+	r.finalized = true
+	r.rep.Incomplete = 0
+	for _, ws := range r.windows {
+		if ws.arrived < len(r.job.Sources) {
+			r.rep.Incomplete++
+		}
+	}
+	r.rep.LatencySummary = stats.Summarize(stats.Durations(r.rep.Latencies))
+	if r.rep.TotalBytes > 0 {
+		r.rep.MeanLoss = float64(r.rep.BytesLost) / float64(r.rep.TotalBytes)
+	}
+	return r.rep
+}
+
+// Run executes the job for the given stream duration of virtual time, then
+// grants a grace period for in-flight partials, and reports. The engine
+// owns the scheduler during the call. For concurrent jobs use Start and
+// Wait.
+func (e *Engine) Run(job JobSpec, dur time.Duration) (*Report, error) {
+	run, err := e.Start(job, dur)
+	if err != nil {
+		return nil, err
+	}
+	return e.Wait(dur, run)[0], nil
+}
+
+// Wait drives the simulation for the stream duration plus a bounded grace
+// period until every given run completes, then returns their finalized
+// reports in order.
+func (e *Engine) Wait(dur time.Duration, runs ...*JobRun) []*Report {
+	e.Sched.RunFor(dur)
+	allDone := func() bool {
+		for _, r := range runs {
+			if !r.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	for grace := 0; !allDone() && grace < 10000; grace++ {
+		e.Sched.RunFor(time.Second)
+	}
+	out := make([]*Report, len(runs))
+	for i, r := range runs {
+		out[i] = r.finalize()
+	}
+	return out
+}
+
+// Start schedules a job's window processing without driving the clock.
+func (e *Engine) Start(job JobSpec, dur time.Duration) (*JobRun, error) {
+	if err := job.withDefaults(); err != nil {
+		return nil, err
+	}
+	if e.Net.Topology().Site(job.Sink) == nil {
+		return nil, fmt.Errorf("core: unknown sink %q", job.Sink)
+	}
+	run := &JobRun{
+		job:     job,
+		rep:     &Report{Global: stream.NewKeyedAgg(job.Agg)},
+		windows: make(map[simtime.Time]*windowState),
+	}
+	rep := run.rep
+	windows := run.windows
+	inflight := &run.inflight
+
+	srcs := make([]*sourceState, len(job.Sources))
+	genRoot := rng.New(77)
+	for i, spec := range job.Sources {
+		gen := spec.Gen
+		if gen == nil {
+			gen = workload.NewSensorGen(genRoot.Split("src/"+string(spec.Site)), spec.Site, workload.SensorOpts{})
+		}
+		srcs[i] = &sourceState{
+			spec: spec,
+			gen:  gen,
+			agg:  stream.NewWindowAgg(job.Window, job.Agg),
+		}
+	}
+	nWindows := int(dur / job.Window)
+	run.expected = nWindows * len(srcs)
+
+	complete := func(ws *windowState, at simtime.Time) {
+		rep.Windows++
+		rep.Latencies = append(rep.Latencies, at-ws.window.End)
+		rep.Global.Merge(ws.merged)
+		if e.Trace != nil {
+			e.Trace.Record(trace.Event{
+				At: at, Kind: trace.WindowComplete, Site: string(job.Sink),
+				Value: (at - ws.window.End).Seconds(),
+				Note:  ws.window.String(),
+			})
+		}
+	}
+
+	// Per-window per-source processing, scheduled at every window close.
+	process := func(s *sourceState, end simtime.Time) {
+		run.processed++
+		start := end - simtime.Time(job.Window)
+		n := workload.EventCount(s.spec.Rate, start, job.Window)
+		events := s.gen.Events(n, start, job.Window)
+		kept := 0
+		for _, ev := range events {
+			if job.Map != nil {
+				var ok bool
+				ev, ok = job.Map(ev)
+				if !ok {
+					continue
+				}
+			}
+			s.agg.Add(ev)
+			kept++
+		}
+		closed := s.agg.Advance(end)
+		coveredCurrent := false
+		for _, cw := range closed {
+			if cw.Window.Start == start {
+				coveredCurrent = true
+			}
+			e.ship(job, rep, windows, inflight, s, cw, kept, complete)
+		}
+		if !coveredCurrent {
+			// Every window ships a partial even when all events were
+			// filtered out: the sink must be able to distinguish "no data"
+			// from "site missing".
+			empty := stream.Closed{
+				Window: stream.Window{Start: start, End: end},
+				Agg:    stream.NewKeyedAgg(job.Agg),
+			}
+			e.ship(job, rep, windows, inflight, s, empty, kept, complete)
+		}
+		rep.TotalEvents += int64(kept)
+	}
+
+	for _, s := range srcs {
+		s := s
+		for w := 1; w <= nWindows; w++ {
+			end := simtime.Time(w) * simtime.Time(job.Window)
+			e.Sched.At(e.Sched.Now()+end, func() { process(s, e.Sched.Now()) })
+		}
+	}
+	return run, nil
+}
+
+// ship moves one closed window partial from a source site to the sink.
+func (e *Engine) ship(job JobSpec, rep *Report, windows map[simtime.Time]*windowState,
+	inflight *int, s *sourceState, cw stream.Closed, events int,
+	complete func(*windowState, simtime.Time)) {
+
+	ws := windows[cw.Window.Start]
+	if ws == nil {
+		ws = &windowState{window: cw.Window, merged: stream.NewKeyedAgg(job.Agg)}
+		windows[cw.Window.Start] = ws
+	}
+	var bytes int64
+	if job.ShipRaw {
+		bytes = int64(events) * s.spec.EventBytes
+	} else {
+		bytes = cw.Agg.SerializedBytes()
+	}
+	bytes += job.PartialOverheadBytes
+
+	arrive := func(tr time.Duration, lanes int, cost float64) {
+		ws.arrived++
+		ws.merged.Merge(cw.Agg)
+		rep.SiteWindows = append(rep.SiteWindows, SiteWindow{
+			Site: s.spec.Site, Window: cw.Window,
+			Events: events, Keys: cw.Agg.Keys(), Bytes: bytes,
+			Lanes: lanes, Transfer: tr, Cost: cost,
+		})
+		rep.TotalBytes += bytes
+		rep.TotalCost += cost
+		if ws.arrived == len(job.Sources) {
+			complete(ws, e.Sched.Now())
+		}
+	}
+
+	if s.spec.Site == job.Sink {
+		// Local source: the partial is already at the meta-reducer.
+		arrive(0, 0, 0)
+		return
+	}
+
+	if job.Lossy {
+		// Datagram shipping: pace at the estimated link rate (bounded by
+		// the intrusiveness NIC share), lose what the network drops.
+		est, _ := e.Monitor.Estimate(s.spec.Site, job.Sink)
+		if l := e.Net.Topology().Link(s.spec.Site, job.Sink); est <= 0 && l != nil {
+			est = l.BaseMBps
+		}
+		if est < 0.5 {
+			est = 0.5
+		}
+		*inflight++
+		err := e.Mgr.SendDatagram(s.spec.Site, job.Sink, bytes, est, func(dr transfer.DatagramResult) {
+			*inflight--
+			rep.BytesLost += dr.Offered - dr.Delivered
+			arrive(dr.Duration, 2, dr.Cost)
+		})
+		if err != nil {
+			*inflight--
+		}
+		return
+	}
+
+	req := transfer.Request{
+		From: s.spec.Site, To: job.Sink, Size: bytes,
+		Strategy: job.Strategy, Lanes: job.Lanes,
+		NodeBudget: job.NodeBudget, MaxPaths: job.MaxPaths, Intr: job.Intr,
+	}
+	// Cost/time-aware sizing: invert the per-window budget or deadline into
+	// a node count against the monitor's current estimate, using the
+	// calibrated gain when available.
+	if job.BudgetPerWindow > 0 || job.DeadlinePerWindow > 0 {
+		est, sigma := e.Monitor.Estimate(s.spec.Site, job.Sink)
+		if est <= 0 {
+			if l := e.Net.Topology().Link(s.spec.Site, job.Sink); l != nil {
+				est = l.BaseMBps
+			}
+		}
+		if job.RiskFactor > 0 {
+			est = model.Conservative(est, sigma, job.RiskFactor)
+		}
+		p := e.Params
+		if job.Intr > 0 {
+			p.Intr = job.Intr
+		}
+		// The model's n counts parallel lanes; the multipath planner's
+		// budget counts individual VMs (SitesPerLane per lane).
+		apply := func(n int) {
+			if job.Strategy == transfer.MultipathStatic || job.Strategy == transfer.MultipathDynamic {
+				req.NodeBudget = int(float64(n) * p.SitesPerLane)
+			} else {
+				req.Lanes = n
+			}
+		}
+		explored := false
+		if job.Calibrate {
+			if g, ok := e.Calib.Gain(s.spec.Site, e.Sched.Now()); ok {
+				p.Gain = g
+			} else {
+				// Exploration phase: no fit yet, so cycle lane counts to
+				// generate the node-count diversity the fit needs. A few
+				// early windows pay for calibrated sizing afterwards.
+				apply(1 + s.shipped%4)
+				explored = true
+			}
+		}
+		if !explored {
+			switch {
+			case job.BudgetPerWindow > 0:
+				if n, ok := p.NodesForBudget(bytes, est, job.BudgetPerWindow, 16); ok {
+					apply(n)
+				} else {
+					req.Lanes = 1
+					req.NodeBudget = 2
+				}
+			default:
+				if n, ok := p.NodesForDeadline(bytes, est, job.DeadlinePerWindow, 16); ok {
+					apply(n)
+				} else {
+					apply(16) // best effort: the deadline is unreachable
+				}
+			}
+		}
+	}
+	s.shipped++
+	*inflight++
+	lanes := req.Lanes
+	_, err := e.Mgr.Transfer(req, func(res transfer.Result) {
+		*inflight--
+		if job.Calibrate && e.Calib != nil {
+			e.Calib.RecordNormalized(s.spec.Site, e.Sched.Now(), lanes, res.Duration, res.Bytes)
+		}
+		arrive(res.Duration, res.NodesUsed, res.Cost)
+	})
+	if err != nil {
+		*inflight--
+		// A partial that cannot be shipped is lost; the window will be
+		// reported incomplete.
+	}
+}

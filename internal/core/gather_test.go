@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/netsim"
+	"sage/internal/transfer"
+	"sage/internal/workload"
+)
+
+// quietNetOptions suppresses glitches and probe noise for exact assertions.
+func quietNetOptions() netsim.Options {
+	return netsim.Options{GlitchMeanGap: -1, ProbeNoise: 1e-9}
+}
+
+func gatherSpec(fileBytes int64, files int, strategy transfer.Strategy) GatherSpec {
+	return GatherSpec{
+		Partials: workload.Partials{
+			Sites:     []cloud.SiteID{cloud.NorthEU, cloud.WestEU, cloud.SouthUS},
+			Files:     files,
+			FileBytes: fileBytes,
+		},
+		Sink:     cloud.NorthUS,
+		Strategy: strategy,
+		Lanes:    4,
+		Intr:     1,
+	}
+}
+
+func TestGatherCompletes(t *testing.T) {
+	e := quietEngine(11)
+	rep, err := e.Gather(gatherSpec(1<<20, 50, transfer.EnvAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sites) != 3 {
+		t.Fatalf("gathered %d sites, want 3", len(rep.Sites))
+	}
+	want := int64(3 * 50 * (1 << 20))
+	if rep.TotalBytes != want {
+		t.Fatalf("bytes = %d, want %d", rep.TotalBytes, want)
+	}
+	if rep.Makespan <= 0 || rep.TotalCost <= 0 {
+		t.Fatalf("makespan=%v cost=%v", rep.Makespan, rep.TotalCost)
+	}
+	// Makespan is the max site duration.
+	for _, s := range rep.Sites {
+		if s.Duration > rep.Makespan {
+			t.Fatalf("site %s duration %v exceeds makespan %v", s.Site, s.Duration, rep.Makespan)
+		}
+	}
+}
+
+func TestGatherPerFileAcks(t *testing.T) {
+	e := quietEngine(12)
+	rep, err := e.Gather(gatherSpec(1<<20, 25, transfer.EnvAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rep.Sites {
+		if s.Result.Chunks != 25 {
+			t.Fatalf("site %s: %d chunks, want 25 (one per file)", s.Site, s.Result.Chunks)
+		}
+		if s.Result.Acks < 25 {
+			t.Fatalf("site %s: %d acks", s.Site, s.Result.Acks)
+		}
+	}
+}
+
+func TestGatherSinkSiteSkipped(t *testing.T) {
+	e := quietEngine(13)
+	spec := gatherSpec(1<<20, 10, transfer.EnvAware)
+	spec.Partials.Sites = append(spec.Partials.Sites, cloud.NorthUS)
+	rep, err := e.Gather(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sites) != 3 {
+		t.Fatalf("sink site should not transfer to itself: %d entries", len(rep.Sites))
+	}
+}
+
+func TestGatherSmallVsLargeFilesOverhead(t *testing.T) {
+	// Per-file acknowledgement overhead: moving the same volume as many
+	// tiny files must be slower than as fewer large files.
+	small, err := quietEngine(14).Gather(gatherSpec(64<<10, 400, transfer.EnvAware)) // 400 x 64 KiB
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same total volume per site (25 MiB) as 5 files of 5 MiB.
+	largeExact, err := quietEngine(14).Gather(GatherSpec{
+		Partials: workload.Partials{
+			Sites:     []cloud.SiteID{cloud.NorthEU, cloud.WestEU, cloud.SouthUS},
+			Files:     5,
+			FileBytes: 400 * 64 << 10 / 5,
+		},
+		Sink: cloud.NorthUS, Strategy: transfer.EnvAware, Lanes: 4, Intr: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Makespan <= largeExact.Makespan {
+		t.Fatalf("small files (%v) should be slower than large files (%v) for equal volume",
+			small.Makespan, largeExact.Makespan)
+	}
+}
+
+func TestGatherValidation(t *testing.T) {
+	e := quietEngine(15)
+	if _, err := e.Gather(GatherSpec{Sink: cloud.NorthUS}); err == nil {
+		t.Fatal("empty partials should error")
+	}
+	spec := gatherSpec(1<<20, 10, transfer.EnvAware)
+	spec.Sink = "XXX"
+	if _, err := e.Gather(spec); err == nil {
+		t.Fatal("unknown sink should error")
+	}
+}
+
+func TestGatherDeterministic(t *testing.T) {
+	run := func() time.Duration {
+		rep, err := quietEngine(16).Gather(gatherSpec(1<<20, 40, transfer.MultipathStatic))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Makespan
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic makespan: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/netsim"
+	"sage/internal/stream"
+	"sage/internal/workload"
+)
+
+func lossyJob() JobSpec {
+	return JobSpec{
+		Sources: []SourceSpec{
+			{Site: cloud.NorthEU, Rate: workload.ConstantRate(2000)},
+			{Site: cloud.WestEU, Rate: workload.ConstantRate(2000)},
+		},
+		Sink:    cloud.NorthUS,
+		Window:  30 * time.Second,
+		Agg:     stream.Mean,
+		ShipRaw: true, // big enough batches that transport matters
+		Lossy:   true,
+		Intr:    1,
+	}
+}
+
+func TestLossyJobCompletesWithLowLossOnQuietNet(t *testing.T) {
+	e := quietEngine(41)
+	e.Sched.RunFor(time.Minute)
+	rep, err := e.Run(lossyJob(), 3*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Windows == 0 {
+		t.Fatal("no windows completed")
+	}
+	if rep.MeanLoss > 0.02 {
+		t.Fatalf("quiet network lost %.1f%% of bytes", rep.MeanLoss*100)
+	}
+}
+
+func TestLossyDeterministicLatencyUnderGlitches(t *testing.T) {
+	// Under rough weather, lossy shipping keeps latency flat while losing
+	// data; acknowledged shipping keeps the data but pays latency.
+	run := func(lossy bool) *Report {
+		e := NewEngine(Options{
+			Seed: 42,
+			Net: netsim.Options{
+				GlitchMeanGap: 2 * time.Minute, GlitchMeanDur: 60 * time.Second,
+				GlitchDepthMin: 0.05, GlitchDepthMax: 0.3,
+			},
+		})
+		e.DeployEverywhere(cloud.Medium, 8)
+		e.Sched.RunFor(time.Minute)
+		job := lossyJob()
+		job.Lossy = lossy
+		rep, err := e.Run(job, 10*time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	lossy := run(true)
+	acked := run(false)
+	if lossy.BytesLost == 0 {
+		t.Fatal("rough weather should cause datagram loss")
+	}
+	if acked.BytesLost != 0 {
+		t.Fatal("acknowledged transport must never lose bytes")
+	}
+	if lossy.LatencySummary.P99 >= acked.LatencySummary.P99 {
+		t.Fatalf("lossy p99 %.2fs should beat acked p99 %.2fs under glitches",
+			lossy.LatencySummary.P99, acked.LatencySummary.P99)
+	}
+	// The tradeoff must be visible, not catastrophic.
+	if lossy.MeanLoss > 0.6 {
+		t.Fatalf("loss rate %.0f%% implausibly high", lossy.MeanLoss*100)
+	}
+}
+
+func TestLossyReportLossAccounting(t *testing.T) {
+	e := quietEngine(43)
+	e.Sched.RunFor(time.Minute)
+	// Throttle the NEU->NUS link so the paced datagrams overdrive it: the
+	// monitor's estimate lags the new reality for a while, guaranteeing
+	// loss.
+	e.Net.SetLinkScale(cloud.NorthEU, cloud.NorthUS, 0.2)
+	job := lossyJob()
+	job.Sources = job.Sources[:1]
+	rep, err := e.Run(job, 3*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BytesLost <= 0 {
+		t.Fatal("overdriven link should lose bytes")
+	}
+	if rep.MeanLoss <= 0 || rep.MeanLoss > 1 {
+		t.Fatalf("MeanLoss = %v", rep.MeanLoss)
+	}
+}

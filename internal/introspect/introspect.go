@@ -1,0 +1,190 @@
+// Package introspect implements Introspection-as-a-Service: it turns the
+// monitoring layer's raw histories into operator-facing reports about the
+// actually-delivered service levels of the cloud — per-link performance
+// profiles with stability grades, an attainment estimate against a target
+// throughput, and a catalog of what standard data operations would cost in
+// time and money right now. Providers could expose exactly these reports to
+// tenants; here applications use them to pick sites and budgets.
+package introspect
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/model"
+	"sage/internal/monitor"
+	"sage/internal/stats"
+)
+
+// StabilityGrade classifies a link by its coefficient of variation.
+type StabilityGrade string
+
+// The stability grades, from calm to hostile.
+const (
+	Stable   StabilityGrade = "stable"   // CoV < 0.15
+	Variable StabilityGrade = "variable" // CoV < 0.35
+	Erratic  StabilityGrade = "erratic"  // CoV >= 0.35
+)
+
+// GradeFor maps a coefficient of variation to a grade.
+func GradeFor(cov float64) StabilityGrade {
+	switch {
+	case cov < 0.15:
+		return Stable
+	case cov < 0.35:
+		return Variable
+	default:
+		return Erratic
+	}
+}
+
+// LinkProfile summarizes one directed link's observed behaviour.
+type LinkProfile struct {
+	From, To      cloud.SiteID
+	Samples       int
+	MeanMBps      float64
+	Stddev        float64
+	P10, P50, P90 float64
+	// CoV is stddev/mean, the variability measure behind the grade.
+	CoV   float64
+	Grade StabilityGrade
+}
+
+// Profiles builds link profiles from the monitoring service's histories,
+// sorted by (From, To). Links with no samples are omitted.
+func Profiles(mon *monitor.Service, topo *cloud.Topology) []LinkProfile {
+	var out []LinkProfile
+	ids := topo.SiteIDs()
+	for _, from := range ids {
+		for _, to := range ids {
+			if from == to || topo.Link(from, to) == nil {
+				continue
+			}
+			st := mon.State(from, to)
+			samples := st.History.Samples()
+			if len(samples) == 0 {
+				continue
+			}
+			vals := make([]float64, len(samples))
+			for i, s := range samples {
+				vals[i] = s.Value
+			}
+			sum := stats.Summarize(vals)
+			cov := 0.0
+			if sum.Mean > 0 {
+				cov = sum.Std / sum.Mean
+			}
+			sort.Float64s(vals)
+			out = append(out, LinkProfile{
+				From: from, To: to,
+				Samples:  sum.N,
+				MeanMBps: sum.Mean,
+				Stddev:   sum.Std,
+				P10:      stats.Percentile(vals, 0.10),
+				P50:      sum.P50,
+				P90:      stats.Percentile(vals, 0.90),
+				CoV:      cov,
+				Grade:    GradeFor(cov),
+			})
+		}
+	}
+	return out
+}
+
+// Attainment estimates the fraction of observed samples on a link that met
+// a target throughput — the empirical answer to "what service level does
+// this link actually support?". ok is false without samples.
+func Attainment(mon *monitor.Service, from, to cloud.SiteID, targetMBps float64) (float64, bool) {
+	st := mon.State(from, to)
+	samples := st.History.Samples()
+	if len(samples) == 0 {
+		return 0, false
+	}
+	met := 0
+	for _, s := range samples {
+		if s.Value >= targetMBps {
+			met++
+		}
+	}
+	return float64(met) / float64(len(samples)), true
+}
+
+// CatalogEntry prices one standard operation.
+type CatalogEntry struct {
+	Operation string
+	From, To  cloud.SiteID
+	Time      time.Duration
+	Cost      float64
+}
+
+// Catalog prices the standard operations an application plans around:
+// moving a reference dataset between every linked site pair at 1 and at k
+// lanes, using current estimates. Entries are sorted by (From, To,
+// Operation).
+func Catalog(mon *monitor.Service, topo *cloud.Topology, par model.Params, refBytes int64, k int) []CatalogEntry {
+	var out []CatalogEntry
+	ids := topo.SiteIDs()
+	for _, from := range ids {
+		for _, to := range ids {
+			if from == to || topo.Link(from, to) == nil {
+				continue
+			}
+			est, _ := mon.Estimate(from, to)
+			if est <= 0 {
+				continue
+			}
+			for _, n := range []int{1, k} {
+				if n <= 0 {
+					continue
+				}
+				op := fmt.Sprintf("move %s x%d", stats.FmtBytes(refBytes), n)
+				out = append(out, CatalogEntry{
+					Operation: op, From: from, To: to,
+					Time: par.TransferTime(refBytes, est, n),
+					Cost: par.Cost(refBytes, est, n),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Operation < b.Operation
+	})
+	return out
+}
+
+// ProfilesTable renders profiles for terminals.
+func ProfilesTable(profiles []LinkProfile) *stats.Table {
+	tb := stats.NewTable("link profiles (observed service levels)",
+		"link", "samples", "mean MB/s", "p10", "p50", "p90", "CoV", "grade")
+	for _, p := range profiles {
+		tb.Add(fmt.Sprintf("%s>%s", p.From, p.To),
+			fmt.Sprintf("%d", p.Samples),
+			fmt.Sprintf("%.2f", p.MeanMBps),
+			fmt.Sprintf("%.2f", p.P10),
+			fmt.Sprintf("%.2f", p.P50),
+			fmt.Sprintf("%.2f", p.P90),
+			fmt.Sprintf("%.2f", p.CoV),
+			string(p.Grade))
+	}
+	return tb
+}
+
+// CatalogTable renders a cost catalog for terminals.
+func CatalogTable(entries []CatalogEntry) *stats.Table {
+	tb := stats.NewTable("operation cost catalog (current estimates)",
+		"link", "operation", "time", "cost")
+	for _, e := range entries {
+		tb.Add(fmt.Sprintf("%s>%s", e.From, e.To), e.Operation,
+			stats.FmtDur(e.Time), stats.FmtMoney(e.Cost))
+	}
+	return tb
+}

@@ -1,0 +1,148 @@
+package introspect
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/model"
+	"sage/internal/monitor"
+	"sage/internal/netsim"
+	"sage/internal/rng"
+	"sage/internal/simtime"
+)
+
+func testStack(jitter float64) (*simtime.Scheduler, *netsim.Network, *monitor.Service, *cloud.Topology) {
+	sched := simtime.New()
+	topo := cloud.NewTopology(250, 2*time.Millisecond)
+	topo.AddSite(&cloud.Site{ID: "A", EgressPerGB: 0.12})
+	topo.AddSite(&cloud.Site{ID: "B", EgressPerGB: 0.12})
+	topo.AddSite(&cloud.Site{ID: "C", EgressPerGB: 0.12})
+	topo.AddSymmetricLink(cloud.LinkSpec{From: "A", To: "B", BaseMBps: 10, RTT: 20 * time.Millisecond, Jitter: jitter})
+	topo.AddSymmetricLink(cloud.LinkSpec{From: "B", To: "C", BaseMBps: 20, RTT: 20 * time.Millisecond, Jitter: jitter})
+	net := netsim.New(sched, topo, rng.New(1), netsim.Options{GlitchMeanGap: -1, ProbeNoise: 0.05})
+	mon := monitor.NewService(net, monitor.Options{Interval: 10 * time.Second})
+	mon.Start()
+	return sched, net, mon, topo
+}
+
+func TestGradeFor(t *testing.T) {
+	cases := map[float64]StabilityGrade{
+		0.05: Stable, 0.149: Stable, 0.2: Variable, 0.34: Variable, 0.5: Erratic,
+	}
+	for cov, want := range cases {
+		if got := GradeFor(cov); got != want {
+			t.Fatalf("GradeFor(%v) = %v, want %v", cov, got, want)
+		}
+	}
+}
+
+func TestProfilesCoverLinksAndSort(t *testing.T) {
+	sched, _, mon, topo := testStack(1e-9)
+	sched.RunFor(10 * time.Minute)
+	profiles := Profiles(mon, topo)
+	if len(profiles) != 4 { // A<->B, B<->C
+		t.Fatalf("profiles = %d, want 4", len(profiles))
+	}
+	for i := 1; i < len(profiles); i++ {
+		a, b := profiles[i-1], profiles[i]
+		if a.From > b.From || (a.From == b.From && a.To >= b.To) {
+			t.Fatal("profiles unsorted")
+		}
+	}
+	for _, p := range profiles {
+		if p.Samples == 0 || p.MeanMBps <= 0 {
+			t.Fatalf("empty profile %+v", p)
+		}
+		if !(p.P10 <= p.P50 && p.P50 <= p.P90) {
+			t.Fatalf("percentiles disordered: %+v", p)
+		}
+	}
+}
+
+func TestQuietLinkGradesStable(t *testing.T) {
+	sched, _, mon, topo := testStack(1e-9)
+	sched.RunFor(30 * time.Minute)
+	for _, p := range Profiles(mon, topo) {
+		if p.Grade != Stable {
+			t.Fatalf("quiet link graded %v: %+v", p.Grade, p)
+		}
+	}
+}
+
+func TestVolatileLinkGradesWorse(t *testing.T) {
+	sched, _, mon, topo := testStack(0.5)
+	sched.RunFor(3 * time.Hour)
+	sawNonStable := false
+	for _, p := range Profiles(mon, topo) {
+		if p.Grade != Stable {
+			sawNonStable = true
+		}
+	}
+	if !sawNonStable {
+		t.Fatal("high-jitter links should not all grade stable")
+	}
+}
+
+func TestAttainment(t *testing.T) {
+	sched, _, mon, topo := testStack(1e-9)
+	_ = topo
+	sched.RunFor(10 * time.Minute)
+	// Quiet link at ~10 MB/s: a 5 MB/s target is always met, a 50 MB/s
+	// target never.
+	lo, ok := Attainment(mon, "A", "B", 5)
+	if !ok || lo < 0.99 {
+		t.Fatalf("attainment(5) = %v,%v", lo, ok)
+	}
+	hi, ok := Attainment(mon, "A", "B", 50)
+	if !ok || hi > 0.01 {
+		t.Fatalf("attainment(50) = %v,%v", hi, ok)
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	sched, _, mon, topo := testStack(1e-9)
+	sched.RunFor(10 * time.Minute)
+	par := model.Default()
+	par.Intr = 1
+	entries := Catalog(mon, topo, par, 1<<30, 4)
+	if len(entries) != 8 { // 4 links x 2 node counts
+		t.Fatalf("catalog entries = %d, want 8", len(entries))
+	}
+	// Parallel variant must predict less time and more-or-equal cost
+	// structure; find the A>B pair.
+	var single, quad *CatalogEntry
+	for i := range entries {
+		e := &entries[i]
+		if e.From == "A" && e.To == "B" {
+			if strings.HasSuffix(e.Operation, "x1") {
+				single = e
+			} else {
+				quad = e
+			}
+		}
+	}
+	if single == nil || quad == nil {
+		t.Fatal("missing catalog entries for A>B")
+	}
+	if quad.Time >= single.Time {
+		t.Fatalf("x4 time %v should beat x1 %v", quad.Time, single.Time)
+	}
+	if single.Cost <= 0 || quad.Cost <= 0 {
+		t.Fatal("catalog costs must be positive")
+	}
+}
+
+func TestTables(t *testing.T) {
+	sched, _, mon, topo := testStack(1e-9)
+	sched.RunFor(10 * time.Minute)
+	pt := ProfilesTable(Profiles(mon, topo))
+	if len(pt.Rows) == 0 || !strings.Contains(pt.String(), "A>B") {
+		t.Fatal("profiles table empty")
+	}
+	ct := CatalogTable(Catalog(mon, topo, model.Default(), 1<<30, 4))
+	if len(ct.Rows) == 0 || !strings.Contains(ct.String(), "move") {
+		t.Fatal("catalog table empty")
+	}
+}

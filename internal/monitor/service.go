@@ -1,0 +1,249 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/netsim"
+	"sage/internal/simtime"
+)
+
+// History is a fixed-capacity ring buffer of samples, oldest first when
+// listed. The monitoring agent records history both for operator inspection
+// (profiling an application's cloud behaviour) and as the base data for
+// self-healing decisions.
+type History struct {
+	buf   []Sample
+	next  int
+	total int
+}
+
+// NewHistory returns a ring holding up to capacity samples.
+func NewHistory(capacity int) *History {
+	if capacity <= 0 {
+		panic("monitor: history capacity must be positive")
+	}
+	return &History{buf: make([]Sample, 0, capacity)}
+}
+
+// Add appends a sample, evicting the oldest when full.
+func (h *History) Add(s Sample) {
+	if len(h.buf) < cap(h.buf) {
+		h.buf = append(h.buf, s)
+	} else {
+		h.buf[h.next] = s
+		h.next = (h.next + 1) % cap(h.buf)
+	}
+	h.total++
+}
+
+// Len returns the number of retained samples.
+func (h *History) Len() int { return len(h.buf) }
+
+// Total returns the number of samples ever added.
+func (h *History) Total() int { return h.total }
+
+// Samples returns the retained samples oldest-first.
+func (h *History) Samples() []Sample {
+	out := make([]Sample, 0, len(h.buf))
+	if len(h.buf) == cap(h.buf) {
+		out = append(out, h.buf[h.next:]...)
+		out = append(out, h.buf[:h.next]...)
+	} else {
+		out = append(out, h.buf...)
+	}
+	return out
+}
+
+// LinkKey identifies a directed inter-site link.
+type LinkKey struct{ From, To cloud.SiteID }
+
+func (k LinkKey) String() string { return fmt.Sprintf("%s>%s", k.From, k.To) }
+
+// LinkState is the tracked state of one link: the live estimator plus the
+// retained sample history.
+type LinkState struct {
+	Key       LinkKey
+	Estimator Estimator
+	History   *History
+	paused    bool
+}
+
+// Options configures the monitoring service.
+type Options struct {
+	// Interval between probes of each link (default 30s). The paper's
+	// non-intrusiveness requirement is expressed here: probing is periodic
+	// and suspendable, not continuous.
+	Interval time.Duration
+	// HistorySize is the per-link ring capacity (default 512).
+	HistorySize int
+	// Factory builds the per-link estimator (default WSI).
+	Factory Factory
+	// LearningProbes is the number of immediate back-to-back probes taken
+	// per link at Start, the "initial learning phase" (default 3).
+	LearningProbes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 30 * time.Second
+	}
+	if o.HistorySize <= 0 {
+		o.HistorySize = 512
+	}
+	if o.Factory == nil {
+		o.Factory = DefaultFactory
+	}
+	if o.LearningProbes <= 0 {
+		o.LearningProbes = 3
+	}
+	return o
+}
+
+// Service is the monitoring agent: it probes every inter-site link of the
+// topology on a fixed interval and maintains per-link estimators and
+// histories. Probing a link can be paused while a transfer runs on it (the
+// transfer itself is a better throughput sample, and probes would be
+// intrusive).
+type Service struct {
+	sched *simtime.Scheduler
+	net   *netsim.Network
+	opt   Options
+	links map[LinkKey]*LinkState
+	order []LinkKey
+	tick  *simtime.Ticker
+}
+
+// NewService builds a monitoring service over every directed link in the
+// network's topology. Call Start to begin probing.
+func NewService(net *netsim.Network, opt Options) *Service {
+	opt = opt.withDefaults()
+	s := &Service{
+		sched: net.Scheduler(),
+		net:   net,
+		opt:   opt,
+		links: make(map[LinkKey]*LinkState),
+	}
+	for _, l := range net.Topology().Links() {
+		k := LinkKey{l.From, l.To}
+		s.links[k] = &LinkState{
+			Key:       k,
+			Estimator: opt.Factory(),
+			History:   NewHistory(opt.HistorySize),
+		}
+		s.order = append(s.order, k)
+	}
+	return s
+}
+
+// Start performs the initial learning phase and begins periodic probing.
+// Calling Start twice panics.
+func (s *Service) Start() {
+	if s.tick != nil {
+		panic("monitor: Start called twice")
+	}
+	for i := 0; i < s.opt.LearningProbes; i++ {
+		s.probeAll()
+	}
+	s.tick = s.sched.NewTicker(s.opt.Interval, func(simtime.Time) { s.probeAll() })
+}
+
+// Stop halts periodic probing.
+func (s *Service) Stop() {
+	if s.tick != nil {
+		s.tick.Stop()
+		s.tick = nil
+	}
+}
+
+func (s *Service) probeAll() {
+	for _, k := range s.order {
+		st := s.links[k]
+		if st.paused {
+			continue
+		}
+		v := s.net.Probe(k.From, k.To)
+		sm := Sample{Value: v, At: s.sched.Now()}
+		st.Estimator.Observe(sm)
+		st.History.Add(sm)
+	}
+}
+
+// Pause suspends probing of one link (e.g. while a transfer runs on it).
+func (s *Service) Pause(from, to cloud.SiteID) { s.state(from, to).paused = true }
+
+// Resume re-enables probing of a paused link.
+func (s *Service) Resume(from, to cloud.SiteID) { s.state(from, to).paused = false }
+
+func (s *Service) state(from, to cloud.SiteID) *LinkState {
+	st, ok := s.links[LinkKey{from, to}]
+	if !ok {
+		panic(fmt.Sprintf("monitor: unknown link %s -> %s", from, to))
+	}
+	return st
+}
+
+// ObserveTransfer feeds an achieved-throughput measurement from a real
+// transfer into the link's estimator — the mechanism by which transfer
+// progress substitutes for probes.
+func (s *Service) ObserveTransfer(from, to cloud.SiteID, mbps float64) {
+	if from == to {
+		return
+	}
+	st, ok := s.links[LinkKey{from, to}]
+	if !ok {
+		return
+	}
+	sm := Sample{Value: mbps, At: s.sched.Now()}
+	st.Estimator.Observe(sm)
+	st.History.Add(sm)
+}
+
+// Estimate returns the current (mean, stddev) throughput estimate for a
+// directed link in MB/s. Before any sample it returns (0, 0); intra-site
+// pairs return the topology constant.
+func (s *Service) Estimate(from, to cloud.SiteID) (mean, stddev float64) {
+	if from == to {
+		return s.net.Topology().IntraMBps, 0
+	}
+	st, ok := s.links[LinkKey{from, to}]
+	if !ok {
+		return 0, 0
+	}
+	return st.Estimator.Mean(), st.Estimator.Stddev()
+}
+
+// State exposes the tracked state of a link for reports and tests.
+func (s *Service) State(from, to cloud.SiteID) *LinkState { return s.state(from, to) }
+
+// MapEntry is one cell of the inter-site throughput map.
+type MapEntry struct {
+	From, To     cloud.SiteID
+	MBps, Stddev float64
+	Samples      int
+}
+
+// ThroughputMap returns the live map of estimated inter-site throughputs,
+// sorted by (From, To) — the real-time "online map of the cloud" the
+// monitoring agent publishes.
+func (s *Service) ThroughputMap() []MapEntry {
+	out := make([]MapEntry, 0, len(s.order))
+	for _, k := range s.order {
+		st := s.links[k]
+		out = append(out, MapEntry{
+			From: k.From, To: k.To,
+			MBps:    st.Estimator.Mean(),
+			Stddev:  st.Estimator.Stddev(),
+			Samples: st.Estimator.Count(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}

@@ -1,0 +1,201 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/netsim"
+	"sage/internal/rng"
+	"sage/internal/simtime"
+)
+
+func testNet() (*simtime.Scheduler, *netsim.Network) {
+	sched := simtime.New()
+	topo := cloud.NewTopology(250, 2*time.Millisecond)
+	topo.AddSite(&cloud.Site{ID: "A"})
+	topo.AddSite(&cloud.Site{ID: "B"})
+	topo.AddSite(&cloud.Site{ID: "C"})
+	topo.AddSymmetricLink(cloud.LinkSpec{From: "A", To: "B", BaseMBps: 10, RTT: 10 * time.Millisecond, Jitter: 1e-9})
+	topo.AddSymmetricLink(cloud.LinkSpec{From: "B", To: "C", BaseMBps: 20, RTT: 10 * time.Millisecond, Jitter: 1e-9})
+	net := netsim.New(sched, topo, rng.New(1), netsim.Options{GlitchMeanGap: -1, ProbeNoise: 0.02})
+	return sched, net
+}
+
+func TestHistoryRing(t *testing.T) {
+	h := NewHistory(3)
+	for i := 1; i <= 5; i++ {
+		h.Add(Sample{Value: float64(i)})
+	}
+	if h.Len() != 3 || h.Total() != 5 {
+		t.Fatalf("Len=%d Total=%d", h.Len(), h.Total())
+	}
+	got := h.Samples()
+	want := []float64{3, 4, 5}
+	for i, s := range got {
+		if s.Value != want[i] {
+			t.Fatalf("Samples = %v, want oldest-first %v", got, want)
+		}
+	}
+}
+
+func TestHistoryPartial(t *testing.T) {
+	h := NewHistory(10)
+	h.Add(Sample{Value: 1})
+	h.Add(Sample{Value: 2})
+	got := h.Samples()
+	if len(got) != 2 || got[0].Value != 1 || got[1].Value != 2 {
+		t.Fatalf("Samples = %v", got)
+	}
+}
+
+func TestHistoryInvalidCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistory(0)
+}
+
+func TestServiceLearningPhase(t *testing.T) {
+	_, net := testNet()
+	s := NewService(net, Options{LearningProbes: 3})
+	s.Start()
+	// Without advancing time, the learning probes must already be present.
+	if mean, _ := s.Estimate("A", "B"); math.Abs(mean-10) > 2 {
+		t.Fatalf("post-learning estimate = %v, want ~10", mean)
+	}
+	st := s.State("A", "B")
+	if st.Estimator.Count() != 3 {
+		t.Fatalf("learning probes = %d, want 3", st.Estimator.Count())
+	}
+}
+
+func TestServicePeriodicProbing(t *testing.T) {
+	sched, net := testNet()
+	s := NewService(net, Options{Interval: 30 * time.Second, LearningProbes: 1})
+	s.Start()
+	sched.RunFor(10 * time.Minute)
+	st := s.State("A", "B")
+	if got := st.Estimator.Count(); got != 21 { // 1 learning + 20 ticks
+		t.Fatalf("samples = %d, want 21", got)
+	}
+	s.Stop()
+	sched.RunFor(10 * time.Minute)
+	if got := st.Estimator.Count(); got != 21 {
+		t.Fatalf("samples after Stop = %d, want 21", got)
+	}
+}
+
+func TestServiceEstimateTracksCapacity(t *testing.T) {
+	sched, net := testNet()
+	s := NewService(net, Options{Interval: 10 * time.Second})
+	s.Start()
+	sched.RunFor(5 * time.Minute)
+	mean, stddev := s.Estimate("A", "B")
+	if math.Abs(mean-10) > 1 {
+		t.Fatalf("estimate = %v, want ~10", mean)
+	}
+	if stddev > 2 {
+		t.Fatalf("stddev = %v, too high for quiet link", stddev)
+	}
+	// After halving capacity, the estimate must follow.
+	net.SetLinkScale("A", "B", 0.5)
+	sched.RunFor(30 * time.Minute)
+	mean, _ = s.Estimate("A", "B")
+	if math.Abs(mean-5) > 1.5 {
+		t.Fatalf("estimate after degradation = %v, want ~5", mean)
+	}
+}
+
+func TestServicePauseResume(t *testing.T) {
+	sched, net := testNet()
+	s := NewService(net, Options{Interval: 10 * time.Second, LearningProbes: 1})
+	s.Start()
+	s.Pause("A", "B")
+	sched.RunFor(5 * time.Minute)
+	paused := s.State("A", "B").Estimator.Count()
+	active := s.State("B", "C").Estimator.Count()
+	if paused != 1 {
+		t.Fatalf("paused link took %d samples, want 1 (learning only)", paused)
+	}
+	if active <= 1 {
+		t.Fatalf("active link took %d samples", active)
+	}
+	s.Resume("A", "B")
+	sched.RunFor(time.Minute)
+	if got := s.State("A", "B").Estimator.Count(); got <= paused {
+		t.Fatal("resume did not restart probing")
+	}
+}
+
+func TestServiceIntraSiteEstimate(t *testing.T) {
+	_, net := testNet()
+	s := NewService(net, Options{})
+	mean, stddev := s.Estimate("A", "A")
+	if mean != 250 || stddev != 0 {
+		t.Fatalf("intra-site estimate = %v,%v; want topology constant", mean, stddev)
+	}
+}
+
+func TestServiceObserveTransfer(t *testing.T) {
+	_, net := testNet()
+	s := NewService(net, Options{})
+	for i := 0; i < 20; i++ {
+		s.ObserveTransfer("A", "B", 7)
+	}
+	mean, _ := s.Estimate("A", "B")
+	if math.Abs(mean-7) > 0.5 {
+		t.Fatalf("estimate from transfer feedback = %v, want ~7", mean)
+	}
+	// Intra-site and unknown links must be ignored without panic.
+	s.ObserveTransfer("A", "A", 100)
+	s.ObserveTransfer("A", "Z", 100)
+}
+
+func TestThroughputMapSortedAndComplete(t *testing.T) {
+	sched, net := testNet()
+	s := NewService(net, Options{Interval: 10 * time.Second})
+	s.Start()
+	sched.RunFor(time.Minute)
+	m := s.ThroughputMap()
+	if len(m) != 4 { // A<->B, B<->C
+		t.Fatalf("map has %d entries, want 4", len(m))
+	}
+	for i := 1; i < len(m); i++ {
+		a, b := m[i-1], m[i]
+		if a.From > b.From || (a.From == b.From && a.To >= b.To) {
+			t.Fatal("map not sorted")
+		}
+	}
+	for _, e := range m {
+		if e.Samples == 0 || e.MBps <= 0 {
+			t.Fatalf("entry %v has no data", e)
+		}
+	}
+}
+
+func TestServiceUnknownLinkPanics(t *testing.T) {
+	_, net := testNet()
+	s := NewService(net, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown link")
+		}
+	}()
+	s.Pause("A", "Z")
+}
+
+func TestServiceStartTwicePanics(t *testing.T) {
+	_, net := testNet()
+	s := NewService(net, Options{})
+	s.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on second Start")
+		}
+	}()
+	s.Start()
+}

@@ -1,0 +1,235 @@
+// Package rng provides deterministic pseudo-random streams for the SAGE
+// simulator. Every stochastic component (link variability, workload
+// generation, probe noise) draws from its own named stream split off a root
+// seed, so adding a new consumer never perturbs the draws seen by existing
+// ones and experiments stay reproducible across runs and Go versions.
+//
+// The core generator is xoshiro256**, seeded through SplitMix64, both
+// implemented here so the sequence is independent of math/rand internals.
+package rng
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Rand is a deterministic pseudo-random generator. It is not safe for
+// concurrent use; split one stream per goroutine instead.
+type Rand struct {
+	s [4]uint64
+	// cached second normal variate from the polar method
+	hasSpare bool
+	spare    float64
+}
+
+// New returns a generator seeded from seed via SplitMix64, which guarantees
+// well-mixed state even for small or similar seeds.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+// Split derives an independent stream identified by name. Streams derived
+// with distinct names from the same parent are statistically independent.
+func (r *Rand) Split(name string) *Rand {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return New(r.Uint64() ^ h.Sum64())
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits (xoshiro256**).
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics when n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative 63-bit integer.
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+func (r *Rand) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.hasSpare = true
+		return u * f
+	}
+}
+
+// Normal returns a normal variate with the given mean and standard
+// deviation.
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	return mean + stddev*r.NormFloat64()
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *Rand) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Exp returns an exponential variate with the given mean (= 1/rate).
+func (r *Rand) Exp(mean float64) float64 { return mean * r.ExpFloat64() }
+
+// Pareto returns a Pareto variate with minimum xm and shape alpha. Heavy
+// tails (alpha near 1) model occasional very large stream records.
+func (r *Rand) Pareto(xm, alpha float64) float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return xm / math.Pow(u, 1/alpha)
+		}
+	}
+}
+
+// LogNormal returns exp(Normal(mu, sigma)).
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Zipf draws from a Zipf–Mandelbrot distribution over [0, n) with skew s>1,
+// using the rejection-inversion method of Hörmann and Derflinger (the same
+// approach as math/rand's Zipf). Construct once with NewZipf.
+type Zipf struct {
+	r                *Rand
+	imax             float64
+	v, q             float64
+	oneMinusQ        float64
+	oneMinusQInv     float64
+	hxm, hx0MinusHxm float64
+	s                float64
+}
+
+// NewZipf returns a Zipf generator over {0, ..., imax} with exponent q > 1
+// and offset v >= 1.
+func NewZipf(r *Rand, q, v float64, imax uint64) *Zipf {
+	if r == nil || q <= 1 || v < 1 {
+		panic("rng: NewZipf requires r != nil, q > 1, v >= 1")
+	}
+	z := &Zipf{r: r, imax: float64(imax), v: v, q: q}
+	z.oneMinusQ = 1 - q
+	z.oneMinusQInv = 1 / z.oneMinusQ
+	z.hxm = z.h(z.imax + 0.5)
+	z.hx0MinusHxm = z.h(0.5) - math.Exp(math.Log(v)*(-q)) - z.hxm
+	z.s = 2 - z.hinv(z.h(1.5)-math.Exp(-q*math.Log(v+1)))
+	return z
+}
+
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(z.oneMinusQ*math.Log(z.v+x)) * z.oneMinusQInv
+}
+
+func (z *Zipf) hinv(x float64) float64 {
+	return math.Exp(z.oneMinusQInv*math.Log(z.oneMinusQ*x)) - z.v
+}
+
+// Uint64 returns a Zipf-distributed value in [0, imax].
+func (z *Zipf) Uint64() uint64 {
+	for {
+		r := z.r.Float64()
+		ur := z.hxm + r*z.hx0MinusHxm
+		x := z.hinv(ur)
+		k := math.Floor(x + 0.5)
+		if k-x <= z.s {
+			return uint64(k)
+		}
+		if ur >= z.h(k+0.5)-math.Exp(-math.Log(k+z.v)*z.q) {
+			return uint64(k)
+		}
+	}
+}
+
+// OU is an Ornstein–Uhlenbeck mean-reverting process, the variability model
+// for simulated WAN link capacity: multi-tenant interference pushes the
+// capacity away from its long-run mean, and reversion pulls it back, so
+// samples show high variance with no trend — the regime that motivates
+// robust sample integration in the monitor.
+type OU struct {
+	r *Rand
+	// Mean is the long-run level the process reverts to.
+	Mean float64
+	// Theta is the reversion rate per second (higher = faster reversion).
+	Theta float64
+	// Sigma is the diffusion coefficient per sqrt(second).
+	Sigma float64
+	// X is the current value.
+	X float64
+}
+
+// NewOU returns a process started at its mean.
+func NewOU(r *Rand, mean, theta, sigma float64) *OU {
+	return &OU{r: r, Mean: mean, Theta: theta, Sigma: sigma, X: mean}
+}
+
+// Step advances the process by dt seconds using the exact discretization of
+// the OU SDE and returns the new value.
+func (o *OU) Step(dt float64) float64 {
+	if dt <= 0 {
+		return o.X
+	}
+	decay := math.Exp(-o.Theta * dt)
+	variance := o.Sigma * o.Sigma / (2 * o.Theta) * (1 - decay*decay)
+	o.X = o.Mean + (o.X-o.Mean)*decay + math.Sqrt(variance)*o.r.NormFloat64()
+	return o.X
+}

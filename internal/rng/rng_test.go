@@ -1,0 +1,269 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d identical draws from different seeds", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	r := New(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("zero-seeded stream produced only %d distinct values", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	a := root.Split("link/A")
+	b := root.Split("link/B")
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("split streams with different names produced identical first draw")
+	}
+	// Same name from identically-positioned parents must agree.
+	r1, r2 := New(7), New(7)
+	s1, s2 := r1.Split("x"), r2.Split("x")
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() != s2.Uint64() {
+			t.Fatal("same-name splits from same parent state diverged")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBoundsAndPanic(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(9)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 3)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("normal mean = %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.05 {
+		t.Fatalf("normal stddev = %v, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(4)
+		if v < 0 {
+			t.Fatalf("Exp produced negative %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-4) > 0.1 {
+		t.Fatalf("exp mean = %v, want ~4", mean)
+	}
+}
+
+func TestParetoMinimum(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(2, 1.5); v < 2 {
+			t.Fatalf("Pareto below xm: %v", v)
+		}
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(23)
+	for i := 0; i < 1000; i++ {
+		if v := r.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("LogNormal non-positive: %v", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(29)
+	z := NewZipf(r, 1.5, 1, 999)
+	counts := make(map[uint64]int)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := z.Uint64()
+		if v > 999 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[1] {
+		t.Fatalf("Zipf rank 0 (%d) should outnumber rank 1 (%d)", counts[0], counts[1])
+	}
+	if counts[0] < n/10 {
+		t.Fatalf("Zipf head too light: rank 0 has %d of %d", counts[0], n)
+	}
+}
+
+func TestZipfInvalidArgsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf with q<=1 should panic")
+		}
+	}()
+	NewZipf(New(1), 1.0, 1, 10)
+}
+
+func TestOUMeanReversion(t *testing.T) {
+	r := New(31)
+	ou := NewOU(r, 100, 0.5, 5)
+	ou.X = 200 // displaced far above the mean
+	// After many reversion timescales the process must be near the mean.
+	sum := 0.0
+	const steps = 20000
+	for i := 0; i < steps; i++ {
+		sum += ou.Step(1)
+	}
+	mean := sum / steps
+	if math.Abs(mean-100) > 3 {
+		t.Fatalf("OU long-run mean = %v, want ~100", mean)
+	}
+}
+
+func TestOUStationaryVariance(t *testing.T) {
+	r := New(37)
+	theta, sigma := 0.5, 5.0
+	ou := NewOU(r, 0, theta, sigma)
+	// Warm up, then measure variance; stationary variance = sigma^2/(2 theta).
+	for i := 0; i < 1000; i++ {
+		ou.Step(1)
+	}
+	sum, sumSq, n := 0.0, 0.0, 50000
+	for i := 0; i < n; i++ {
+		v := ou.Step(1)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	want := sigma * sigma / (2 * theta)
+	if math.Abs(variance-want)/want > 0.15 {
+		t.Fatalf("OU stationary variance = %v, want ~%v", variance, want)
+	}
+}
+
+func TestOUZeroStepNoChange(t *testing.T) {
+	ou := NewOU(New(41), 10, 1, 1)
+	x := ou.X
+	if got := ou.Step(0); got != x {
+		t.Fatalf("Step(0) changed value: %v -> %v", x, got)
+	}
+}
+
+// Property: Intn stays in range for arbitrary positive n and any seed.
+func TestPropertyIntnInRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		m := int(n%1000) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: splitting with the same name twice in sequence yields different
+// streams (parent state advances), but never an identical stream to the
+// parent's next draws.
+func TestPropertySplitAdvancesParent(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		a := r.Split("s")
+		b := r.Split("s")
+		return a.Uint64() != b.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,328 @@
+// Package route plans inter-datacenter transfer routes over the monitored
+// site graph. Public clouds expose no topology, so the graph's edge weights
+// are the monitor's live throughput estimates, and path selection works at
+// site granularity: fewer than ten datacenters means exact algorithms are
+// cheap.
+//
+// Three building blocks are provided:
+//
+//   - WidestPath: the path maximizing bottleneck throughput (modified
+//     Dijkstra) — the "shortest path" of the throughput metric.
+//   - AlternativePaths: a sequence of edge-disjoint-ish alternatives obtained
+//     by repeatedly removing the previous widest path's bottleneck edges.
+//   - PlanMultipath: the multi-datacenter allocation loop — give the next
+//     worker lane to the current path while its marginal throughput-per-node
+//     beats opening the next-best path; otherwise open that path. This is
+//     the elasticity-driven variant of flow scheduling that avoids full
+//     link-state monitoring.
+package route
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sage/internal/cloud"
+	"sage/internal/model"
+)
+
+// Graph is a directed site graph weighted by estimated single-lane
+// throughput in MB/s. Zero or negative weights mean "unusable".
+type Graph struct {
+	sites []cloud.SiteID
+	index map[cloud.SiteID]int
+	thr   [][]float64
+}
+
+// NewGraph builds a graph over the given sites with all edges unusable.
+func NewGraph(sites []cloud.SiteID) *Graph {
+	g := &Graph{
+		sites: append([]cloud.SiteID(nil), sites...),
+		index: make(map[cloud.SiteID]int, len(sites)),
+	}
+	sort.Slice(g.sites, func(i, j int) bool { return g.sites[i] < g.sites[j] })
+	for i, s := range g.sites {
+		g.index[s] = i
+	}
+	g.thr = make([][]float64, len(g.sites))
+	for i := range g.thr {
+		g.thr[i] = make([]float64, len(g.sites))
+	}
+	return g
+}
+
+// SetEdge sets the estimated throughput of the directed edge from -> to.
+func (g *Graph) SetEdge(from, to cloud.SiteID, mbps float64) {
+	fi, ok1 := g.index[from]
+	ti, ok2 := g.index[to]
+	if !ok1 || !ok2 {
+		panic(fmt.Sprintf("route: unknown site in edge %s -> %s", from, to))
+	}
+	if fi == ti {
+		panic("route: self-edge")
+	}
+	g.thr[fi][ti] = mbps
+}
+
+// Edge returns the estimated throughput of the directed edge.
+func (g *Graph) Edge(from, to cloud.SiteID) float64 {
+	return g.thr[g.index[from]][g.index[to]]
+}
+
+// Sites returns the sites in sorted order.
+func (g *Graph) Sites() []cloud.SiteID { return append([]cloud.SiteID(nil), g.sites...) }
+
+// Clone returns a deep copy; planners mutate clones when removing paths.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.sites)
+	for i := range g.thr {
+		copy(c.thr[i], g.thr[i])
+	}
+	return c
+}
+
+// Path is a site sequence with its bottleneck throughput.
+type Path struct {
+	Sites      []cloud.SiteID
+	Bottleneck float64
+}
+
+// Hops returns the number of edges in the path.
+func (p Path) Hops() int { return len(p.Sites) - 1 }
+
+// Direct reports whether the path is a single hop.
+func (p Path) Direct() bool { return p.Hops() == 1 }
+
+// String renders "NEU>WEU>NUS (7.5 MB/s)".
+func (p Path) String() string {
+	s := ""
+	for i, site := range p.Sites {
+		if i > 0 {
+			s += ">"
+		}
+		s += string(site)
+	}
+	return fmt.Sprintf("%s (%.2f MB/s)", s, p.Bottleneck)
+}
+
+// WidestPath returns the path from src to dst maximizing the minimum edge
+// throughput, breaking ties toward fewer hops. ok is false when dst is
+// unreachable.
+func (g *Graph) WidestPath(src, dst cloud.SiteID) (Path, bool) {
+	si, ok1 := g.index[src]
+	di, ok2 := g.index[dst]
+	if !ok1 || !ok2 {
+		panic(fmt.Sprintf("route: unknown site %s or %s", src, dst))
+	}
+	if si == di {
+		panic("route: src == dst")
+	}
+	n := len(g.sites)
+	width := make([]float64, n)
+	hops := make([]int, n)
+	prev := make([]int, n)
+	done := make([]bool, n)
+	for i := range width {
+		width[i] = math.Inf(-1)
+		prev[i] = -1
+		hops[i] = math.MaxInt32
+	}
+	width[si] = math.Inf(1)
+	hops[si] = 0
+	for {
+		// Pick the unfinished node with the widest known width,
+		// tie-breaking on hop count then index for determinism.
+		u := -1
+		for i := 0; i < n; i++ {
+			if done[i] || math.IsInf(width[i], -1) {
+				continue
+			}
+			if u == -1 || width[i] > width[u] ||
+				(width[i] == width[u] && hops[i] < hops[u]) {
+				u = i
+			}
+		}
+		if u == -1 {
+			break
+		}
+		done[u] = true
+		if u == di {
+			break
+		}
+		for v := 0; v < n; v++ {
+			if done[v] || g.thr[u][v] <= 0 {
+				continue
+			}
+			w := math.Min(width[u], g.thr[u][v])
+			if w > width[v] || (w == width[v] && hops[u]+1 < hops[v]) {
+				width[v] = w
+				hops[v] = hops[u] + 1
+				prev[v] = u
+			}
+		}
+	}
+	if prev[di] == -1 {
+		return Path{}, false
+	}
+	var rev []cloud.SiteID
+	for at := di; at != -1; at = prev[at] {
+		rev = append(rev, g.sites[at])
+		if at == si {
+			break
+		}
+	}
+	if rev[len(rev)-1] != src {
+		return Path{}, false
+	}
+	sites := make([]cloud.SiteID, len(rev))
+	for i, s := range rev {
+		sites[len(rev)-1-i] = s
+	}
+	return Path{Sites: sites, Bottleneck: width[di]}, true
+}
+
+// RemovePath zeroes every edge used by the path, so the next WidestPath call
+// finds an alternative.
+func (g *Graph) RemovePath(p Path) {
+	for i := 0; i+1 < len(p.Sites); i++ {
+		g.SetEdge(p.Sites[i], p.Sites[i+1], 0)
+	}
+}
+
+// AlternativePaths returns up to k paths from src to dst, each found on the
+// graph with all previous paths' edges removed, in decreasing bottleneck
+// order (by construction).
+func (g *Graph) AlternativePaths(src, dst cloud.SiteID, k int) []Path {
+	work := g.Clone()
+	var out []Path
+	for len(out) < k {
+		p, ok := work.WidestPath(src, dst)
+		if !ok || p.Bottleneck <= 0 {
+			break
+		}
+		out = append(out, p)
+		work.RemovePath(p)
+	}
+	return out
+}
+
+// Lane is one worker chain along a path: a node in every site of the path,
+// moving chunks hop by hop.
+//
+// PathAlloc records how many lanes the planner assigned to one path and the
+// throughput it predicts for them.
+type PathAlloc struct {
+	Path          Path
+	Lanes         int
+	PredictedMBps float64
+	// NodesUsed is the number of VMs this allocation engages
+	// (lanes × sites on the path).
+	NodesUsed int
+}
+
+// Allocation is a complete multipath transfer plan.
+type Allocation struct {
+	Paths []PathAlloc
+	// TotalNodes is the sum of NodesUsed.
+	TotalNodes int
+	// PredictedMBps is the aggregate predicted throughput.
+	PredictedMBps float64
+}
+
+// laneThroughput predicts the aggregate MB/s of k lanes on a path using the
+// model's speedup law against the path bottleneck.
+func laneThroughput(p model.Params, path Path, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return path.Bottleneck * p.Speedup(k)
+}
+
+// MaxLaneSites caps the length of a usable path at one intermediate
+// datacenter (three sites). Longer chains pay store-and-forward latency and
+// node cost on every extra hop that the widest-path metric never recovers
+// in practice, and they starve the budget for parallel lanes.
+const MaxLaneSites = 3
+
+// PlanMultipath allocates up to nodeBudget VMs across alternative paths from
+// src to dst. Every step gives the next lane to whichever action yields the
+// highest marginal throughput per node: widening an already-open path
+// (subject to the diminishing parallel-speedup law) or opening the best
+// still-unopened alternative. The loop ends when the node budget is
+// exhausted or no addition is profitable — the elasticity-driven refinement
+// of shortest-path transfer scheduling that needs only per-link estimates,
+// not full topology knowledge.
+//
+// maxPaths bounds the alternatives considered (0 means 3).
+func PlanMultipath(g *Graph, src, dst cloud.SiteID, nodeBudget int, par model.Params, maxPaths int) (Allocation, bool) {
+	if maxPaths <= 0 {
+		maxPaths = 3
+	}
+	var paths []Path
+	for _, p := range g.AlternativePaths(src, dst, maxPaths+2) {
+		if len(p.Sites) <= MaxLaneSites {
+			paths = append(paths, p)
+		}
+		if len(paths) == maxPaths {
+			break
+		}
+	}
+	if len(paths) == 0 {
+		return Allocation{}, false
+	}
+	lanes := make([]int, len(paths))
+	nodesLeft := nodeBudget
+	laneCost := func(i int) int { return len(paths[i].Sites) }
+
+	for {
+		bestIdx, bestMarg := -1, 0.0
+		for i := range paths {
+			if laneCost(i) > nodesLeft {
+				continue
+			}
+			marg := (laneThroughput(par, paths[i], lanes[i]+1) -
+				laneThroughput(par, paths[i], lanes[i])) / float64(laneCost(i))
+			if marg > bestMarg {
+				bestIdx, bestMarg = i, marg
+			}
+		}
+		if bestIdx < 0 || bestMarg <= 0 {
+			break
+		}
+		lanes[bestIdx]++
+		nodesLeft -= laneCost(bestIdx)
+	}
+	alloc := Allocation{}
+	for i := range paths {
+		if lanes[i] == 0 {
+			continue
+		}
+		pa := PathAlloc{
+			Path:          paths[i],
+			Lanes:         lanes[i],
+			PredictedMBps: laneThroughput(par, paths[i], lanes[i]),
+			NodesUsed:     lanes[i] * laneCost(i),
+		}
+		alloc.Paths = append(alloc.Paths, pa)
+		alloc.TotalNodes += pa.NodesUsed
+		alloc.PredictedMBps += pa.PredictedMBps
+	}
+	return alloc, len(alloc.Paths) > 0
+}
+
+// GraphFromEstimates builds a routing graph from a monitor-style estimate
+// function over the given sites (estimate <= 0 omits the edge).
+func GraphFromEstimates(sites []cloud.SiteID, est func(from, to cloud.SiteID) float64) *Graph {
+	g := NewGraph(sites)
+	for _, a := range sites {
+		for _, b := range sites {
+			if a == b {
+				continue
+			}
+			if v := est(a, b); v > 0 {
+				g.SetEdge(a, b, v)
+			}
+		}
+	}
+	return g
+}

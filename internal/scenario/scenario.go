@@ -1,0 +1,343 @@
+// Package scenario provides a declarative, JSON-encodable description of a
+// complete SAGE run — topology overrides, deployments, a streaming job or a
+// gather, and fault injections — so experiments can be written as config
+// files and replayed bit-for-bit. This is the integration surface a
+// downstream user scripts against: `sagesim -scenario run.json`.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/core"
+	"sage/internal/netsim"
+	"sage/internal/rng"
+	"sage/internal/stream"
+	"sage/internal/transfer"
+	"sage/internal/workload"
+)
+
+// Duration wraps time.Duration with human-readable JSON ("30s", "5m").
+type Duration time.Duration
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return fmt.Errorf("scenario: bad duration %q: %w", s, err)
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// Scenario is a complete run description.
+type Scenario struct {
+	// Name labels the run in reports.
+	Name string `json:"name"`
+	// Seed drives all randomness (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Topology selects the cloud map: "default" (6 EU/US sites) or
+	// "world" (9 sites incl. Asia and Brazil).
+	Topology string `json:"topology,omitempty"`
+	// Weather selects link variability: "default", "calm" (no glitches)
+	// or "rough" (frequent deep glitches).
+	Weather string `json:"weather,omitempty"`
+	// CrossTraffic enables background tenant flows with the given mean
+	// inter-arrival gap per link (e.g. "30s"). Empty disables.
+	CrossTraffic Duration `json:"cross_traffic,omitempty"`
+	// Workers deploys VMs: class name -> count per site (default
+	// {"Medium": 8}).
+	Workers map[string]int `json:"workers,omitempty"`
+	// Job describes the streaming job (exactly one of Job/Gather).
+	Job *JobConfig `json:"job,omitempty"`
+	// Gather describes a file-collection run.
+	Gather *GatherConfig `json:"gather,omitempty"`
+	// Injections are timed faults.
+	Injections []Injection `json:"injections,omitempty"`
+	// Warmup is monitoring time before the workload (default 1m).
+	Warmup Duration `json:"warmup,omitempty"`
+}
+
+// JobConfig mirrors core.JobSpec declaratively.
+type JobConfig struct {
+	Sources  []SourceConfig `json:"sources"`
+	Sink     string         `json:"sink"`
+	Window   Duration       `json:"window"`
+	Agg      string         `json:"agg"`      // count|sum|mean|min|max
+	Strategy string         `json:"strategy"` // direct|parallel|envaware|widest|multipath
+	Lanes    int            `json:"lanes,omitempty"`
+	Intr     float64        `json:"intrusiveness,omitempty"`
+	ShipRaw  bool           `json:"ship_raw,omitempty"`
+	Budget   float64        `json:"budget_per_window,omitempty"`
+	Deadline Duration       `json:"deadline_per_window,omitempty"`
+	Duration Duration       `json:"duration"`
+}
+
+// SourceConfig declares one event source.
+type SourceConfig struct {
+	Site string  `json:"site"`
+	Rate float64 `json:"rate"` // events/second
+	Keys int     `json:"keys,omitempty"`
+	Skew float64 `json:"skew,omitempty"`
+	// DiurnalAmplitude, when > 0, modulates the rate over a 24h period.
+	DiurnalAmplitude float64 `json:"diurnal_amplitude,omitempty"`
+}
+
+// GatherConfig mirrors core.GatherSpec declaratively.
+type GatherConfig struct {
+	Sites     []string `json:"sites"`
+	Files     int      `json:"files"`
+	FileBytes int64    `json:"file_bytes"`
+	Sink      string   `json:"sink"`
+	Strategy  string   `json:"strategy"`
+	Lanes     int      `json:"lanes,omitempty"`
+	Intr      float64  `json:"intrusiveness,omitempty"`
+}
+
+// Injection is a timed fault.
+type Injection struct {
+	At Duration `json:"at"`
+	// Kind: "link_scale" (scale From->To by Factor), "kill_node" (kill the
+	// Nth worker of site From), "restore_node".
+	Kind   string  `json:"kind"`
+	From   string  `json:"from"`
+	To     string  `json:"to,omitempty"`
+	Factor float64 `json:"factor,omitempty"`
+	Node   int     `json:"node,omitempty"`
+}
+
+var aggKinds = map[string]stream.AggKind{
+	"count": stream.Count, "sum": stream.Sum, "mean": stream.Mean,
+	"min": stream.Min, "max": stream.Max,
+}
+
+var strategies = map[string]transfer.Strategy{
+	"direct": transfer.Direct, "parallel": transfer.ParallelStatic,
+	"envaware": transfer.EnvAware, "widest": transfer.WidestDynamic,
+	"multipath": transfer.MultipathDynamic,
+}
+
+var classes = map[string]cloud.VMClass{
+	"Small": cloud.Small, "Medium": cloud.Medium, "XLarge": cloud.XLarge,
+}
+
+// Load parses a scenario from JSON.
+func Load(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the scenario's internal consistency.
+func (s *Scenario) Validate() error {
+	if (s.Job == nil) == (s.Gather == nil) {
+		return fmt.Errorf("scenario %q: exactly one of job or gather required", s.Name)
+	}
+	switch s.Topology {
+	case "", "default", "world":
+	default:
+		return fmt.Errorf("scenario %q: unknown topology %q", s.Name, s.Topology)
+	}
+	switch s.Weather {
+	case "", "default", "calm", "rough":
+	default:
+		return fmt.Errorf("scenario %q: unknown weather %q", s.Name, s.Weather)
+	}
+	for class := range s.Workers {
+		if _, ok := classes[class]; !ok {
+			return fmt.Errorf("scenario %q: unknown VM class %q", s.Name, class)
+		}
+	}
+	if s.Job != nil {
+		j := s.Job
+		if len(j.Sources) == 0 || j.Sink == "" || j.Window <= 0 || j.Duration <= 0 {
+			return fmt.Errorf("scenario %q: job needs sources, sink, window, duration", s.Name)
+		}
+		if _, ok := aggKinds[j.Agg]; !ok {
+			return fmt.Errorf("scenario %q: unknown agg %q", s.Name, j.Agg)
+		}
+		if _, ok := strategies[j.Strategy]; !ok {
+			return fmt.Errorf("scenario %q: unknown strategy %q", s.Name, j.Strategy)
+		}
+	}
+	if s.Gather != nil {
+		g := s.Gather
+		if len(g.Sites) == 0 || g.Files <= 0 || g.FileBytes <= 0 || g.Sink == "" {
+			return fmt.Errorf("scenario %q: gather needs sites, files, file_bytes, sink", s.Name)
+		}
+		if _, ok := strategies[g.Strategy]; !ok {
+			return fmt.Errorf("scenario %q: unknown strategy %q", s.Name, g.Strategy)
+		}
+	}
+	for i, inj := range s.Injections {
+		switch inj.Kind {
+		case "link_scale":
+			if inj.From == "" || inj.To == "" || inj.Factor < 0 {
+				return fmt.Errorf("scenario %q: injection %d invalid link_scale", s.Name, i)
+			}
+		case "kill_node", "restore_node":
+			if inj.From == "" {
+				return fmt.Errorf("scenario %q: injection %d needs a site", s.Name, i)
+			}
+		default:
+			return fmt.Errorf("scenario %q: unknown injection kind %q", s.Name, inj.Kind)
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of a scenario run.
+type Result struct {
+	Name   string
+	Report *core.Report       // for jobs
+	Gather *core.GatherReport // for gathers
+}
+
+// Run builds an engine, applies deployments and injections, executes the
+// workload, and returns the outcome.
+func (s *Scenario) Run() (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	opt := core.Options{Seed: seed}
+	if s.Topology == "world" {
+		opt.Topology = cloud.WorldWide()
+	}
+	switch s.Weather {
+	case "calm":
+		opt.Net = netsim.Options{GlitchMeanGap: -1}
+	case "rough":
+		opt.Net = netsim.Options{
+			GlitchMeanGap: 3 * time.Minute, GlitchMeanDur: 90 * time.Second,
+			GlitchDepthMin: 0.1, GlitchDepthMax: 0.4,
+		}
+	}
+	if s.CrossTraffic > 0 {
+		opt.Net.CrossTrafficMeanGap = time.Duration(s.CrossTraffic)
+	}
+	e := core.NewEngine(opt)
+	workers := s.Workers
+	if len(workers) == 0 {
+		workers = map[string]int{"Medium": 8}
+	}
+	for _, class := range []string{"Small", "Medium", "XLarge"} {
+		if n := workers[class]; n > 0 {
+			e.DeployEverywhere(classes[class], n)
+		}
+	}
+	warmup := time.Duration(s.Warmup)
+	if warmup <= 0 {
+		warmup = time.Minute
+	}
+	e.Sched.RunFor(warmup)
+
+	for _, inj := range s.Injections {
+		inj := inj
+		e.Sched.After(time.Duration(inj.At), func() { applyInjection(e, inj) })
+	}
+
+	res := &Result{Name: s.Name}
+	if s.Job != nil {
+		job, err := s.buildJob()
+		if err != nil {
+			return nil, err
+		}
+		rep, err := e.Run(*job, time.Duration(s.Job.Duration))
+		if err != nil {
+			return nil, err
+		}
+		res.Report = rep
+		return res, nil
+	}
+	g := s.Gather
+	var sites []cloud.SiteID
+	for _, site := range g.Sites {
+		sites = append(sites, cloud.SiteID(site))
+	}
+	rep, err := e.Gather(core.GatherSpec{
+		Partials: workload.Partials{Sites: sites, Files: g.Files, FileBytes: g.FileBytes},
+		Sink:     cloud.SiteID(g.Sink),
+		Strategy: strategies[g.Strategy],
+		Lanes:    g.Lanes,
+		Intr:     g.Intr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Gather = rep
+	return res, nil
+}
+
+func (s *Scenario) buildJob() (*core.JobSpec, error) {
+	j := s.Job
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	genRoot := rng.New(seed)
+	var sources []core.SourceSpec
+	for _, sc := range j.Sources {
+		rate := workload.ConstantRate(sc.Rate)
+		if sc.DiurnalAmplitude > 0 {
+			rate = workload.DiurnalRate(sc.Rate, sc.DiurnalAmplitude, 24*time.Hour)
+		}
+		src := core.SourceSpec{Site: cloud.SiteID(sc.Site), Rate: rate}
+		if sc.Keys > 0 || sc.Skew > 0 {
+			src.Gen = workload.NewSensorGen(genRoot.Split("scenario/"+sc.Site),
+				cloud.SiteID(sc.Site), workload.SensorOpts{Keys: sc.Keys, Skew: sc.Skew})
+		}
+		sources = append(sources, src)
+	}
+	return &core.JobSpec{
+		Sources:           sources,
+		Sink:              cloud.SiteID(j.Sink),
+		Window:            time.Duration(j.Window),
+		Agg:               aggKinds[j.Agg],
+		ShipRaw:           j.ShipRaw,
+		Strategy:          strategies[j.Strategy],
+		Lanes:             j.Lanes,
+		Intr:              j.Intr,
+		BudgetPerWindow:   j.Budget,
+		DeadlinePerWindow: time.Duration(j.Deadline),
+	}, nil
+}
+
+func applyInjection(e *core.Engine, inj Injection) {
+	switch inj.Kind {
+	case "link_scale":
+		e.Net.SetLinkScale(cloud.SiteID(inj.From), cloud.SiteID(inj.To), inj.Factor)
+	case "kill_node":
+		pool := e.Mgr.Pool(cloud.SiteID(inj.From))
+		if inj.Node < len(pool) {
+			e.Net.KillNode(pool[inj.Node])
+		}
+	case "restore_node":
+		pool := e.Mgr.Pool(cloud.SiteID(inj.From))
+		if inj.Node < len(pool) {
+			e.Net.RestoreNode(pool[inj.Node])
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+const jobJSON = `{
+  "name": "demo",
+  "seed": 7,
+  "workers": {"Medium": 6},
+  "warmup": "2m",
+  "job": {
+    "sources": [
+      {"site": "NEU", "rate": 300, "keys": 50, "skew": 1.3},
+      {"site": "WEU", "rate": 300, "diurnal_amplitude": 0.5}
+    ],
+    "sink": "NUS",
+    "window": "30s",
+    "agg": "mean",
+    "strategy": "envaware",
+    "lanes": 2,
+    "intrusiveness": 1,
+    "duration": "3m"
+  },
+  "injections": [
+    {"at": "1m", "kind": "link_scale", "from": "NEU", "to": "NUS", "factor": 0.5},
+    {"at": "90s", "kind": "kill_node", "from": "NEU", "node": 0},
+    {"at": "2m", "kind": "restore_node", "from": "NEU", "node": 0}
+  ]
+}`
+
+const gatherJSON = `{
+  "name": "gather-demo",
+  "gather": {
+    "sites": ["NEU", "WEU"],
+    "files": 20,
+    "file_bytes": 1048576,
+    "sink": "NUS",
+    "strategy": "envaware",
+    "lanes": 3,
+    "intrusiveness": 1
+  }
+}`
+
+func TestLoadJob(t *testing.T) {
+	s, err := Load(strings.NewReader(jobJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "demo" || s.Seed != 7 {
+		t.Fatalf("scenario = %+v", s)
+	}
+	if time.Duration(s.Job.Window) != 30*time.Second {
+		t.Fatalf("window = %v", s.Job.Window)
+	}
+	if len(s.Injections) != 3 {
+		t.Fatalf("injections = %d", len(s.Injections))
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"name":"x","typo_field":1}`)); err == nil {
+		t.Fatal("unknown field should be rejected")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []string{
+		`{"name":"none"}`, // neither job nor gather
+		`{"name":"both","job":{"sources":[{"site":"NEU","rate":1}],"sink":"NUS","window":"30s","agg":"mean","strategy":"envaware","duration":"1m"},"gather":{"sites":["NEU"],"files":1,"file_bytes":1,"sink":"NUS","strategy":"envaware"}}`,
+		`{"name":"badagg","job":{"sources":[{"site":"NEU","rate":1}],"sink":"NUS","window":"30s","agg":"median","strategy":"envaware","duration":"1m"}}`,
+		`{"name":"badstrat","job":{"sources":[{"site":"NEU","rate":1}],"sink":"NUS","window":"30s","agg":"mean","strategy":"warp","duration":"1m"}}`,
+		`{"name":"badclass","workers":{"Tiny":1},"gather":{"sites":["NEU"],"files":1,"file_bytes":1,"sink":"NUS","strategy":"envaware"}}`,
+		`{"name":"badinj","gather":{"sites":["NEU"],"files":1,"file_bytes":1,"sink":"NUS","strategy":"envaware"},"injections":[{"at":"1s","kind":"meteor"}]}`,
+		`{"name":"baddur","job":{"sources":[{"site":"NEU","rate":1}],"sink":"NUS","window":"xx","agg":"mean","strategy":"envaware","duration":"1m"}}`,
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestDurationRoundTrip(t *testing.T) {
+	d := Duration(90 * time.Second)
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"1m30s"` {
+		t.Fatalf("marshal = %s", b)
+	}
+	var back Duration
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != d {
+		t.Fatalf("round trip %v -> %v", d, back)
+	}
+}
+
+func TestRunJobScenario(t *testing.T) {
+	s, err := Load(strings.NewReader(jobJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report == nil || res.Gather != nil {
+		t.Fatal("job scenario should produce a job report")
+	}
+	if res.Report.Windows == 0 {
+		t.Fatal("no windows completed")
+	}
+	if res.Report.TotalEvents == 0 {
+		t.Fatal("no events processed")
+	}
+}
+
+func TestRunGatherScenario(t *testing.T) {
+	s, err := Load(strings.NewReader(gatherJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gather == nil {
+		t.Fatal("gather scenario should produce a gather report")
+	}
+	if res.Gather.TotalBytes != 2*20*1048576 {
+		t.Fatalf("bytes = %d", res.Gather.TotalBytes)
+	}
+}
+
+func TestTopologyAndWeatherPresets(t *testing.T) {
+	js := `{
+	  "name": "world-run", "topology": "world", "weather": "rough",
+	  "cross_traffic": "2m",
+	  "gather": {"sites": ["SEA", "SBR"], "files": 5, "file_bytes": 1048576,
+	             "sink": "NUS", "strategy": "envaware", "lanes": 2, "intrusiveness": 1}
+	}`
+	s, err := Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gather == nil || len(res.Gather.Sites) != 2 {
+		t.Fatalf("world gather = %+v", res.Gather)
+	}
+}
+
+func TestInvalidPresetsRejected(t *testing.T) {
+	for _, js := range []string{
+		`{"name":"x","topology":"mars","gather":{"sites":["NEU"],"files":1,"file_bytes":1,"sink":"NUS","strategy":"envaware"}}`,
+		`{"name":"x","weather":"apocalyptic","gather":{"sites":["NEU"],"files":1,"file_bytes":1,"sink":"NUS","strategy":"envaware"}}`,
+	} {
+		if _, err := Load(strings.NewReader(js)); err == nil {
+			t.Fatalf("preset should be rejected: %s", js)
+		}
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	run := func() float64 {
+		s, err := Load(strings.NewReader(jobJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report.TotalCost
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic scenario: %v vs %v", a, b)
+	}
+}

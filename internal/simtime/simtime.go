@@ -1,0 +1,235 @@
+// Package simtime provides a deterministic discrete-event simulation engine
+// with a virtual clock. All SAGE experiments run in virtual time: a week of
+// cloud measurements executes in milliseconds of wall time, and two runs with
+// the same inputs produce identical event orderings.
+//
+// The engine is single-threaded by design. Components schedule callbacks on a
+// Scheduler; the Scheduler fires them in (time, sequence) order, so ties are
+// broken by scheduling order and the simulation is fully reproducible.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, measured as an offset from the start of
+// the simulation. The zero Time is the simulation epoch.
+type Time = time.Duration
+
+// Forever is a time later than any event a simulation will schedule.
+const Forever Time = math.MaxInt64
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel it before it fires.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 when not queued
+	cancel bool
+}
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Scheduled reports whether the event is still pending (not fired, not
+// cancelled).
+func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 && !e.cancel }
+
+// Scheduler is a discrete-event executor with a virtual clock.
+// The zero value is ready to use.
+type Scheduler struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	fired  uint64
+	inStep bool
+}
+
+// New returns a Scheduler starting at virtual time zero.
+func New() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far; useful for
+// instrumentation and loop-bound assertions in tests.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events still queued (including events that
+// were cancelled but not yet discarded).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it indicates a logic error in the caller, and silently reordering
+// time would corrupt every downstream measurement.
+func (s *Scheduler) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("simtime: scheduling at %v before now %v", t, s.now))
+	}
+	ev := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current virtual time. Negative d is
+// treated as zero.
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel prevents a pending event from firing. Cancelling a nil, fired or
+// already-cancelled event is a no-op.
+func (s *Scheduler) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	ev.cancel = true
+}
+
+// Step fires the next pending event, advancing the clock to its timestamp.
+// It returns false when no events remain.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		s.now = ev.at
+		s.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t, then advances the clock to t.
+// Events scheduled during execution are honored if they fall within the
+// horizon.
+func (s *Scheduler) RunUntil(t Time) {
+	for len(s.queue) > 0 {
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > t {
+			break
+		}
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// RunFor runs the simulation for d of virtual time from the current clock.
+func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+func (s *Scheduler) peek() *Event {
+	for len(s.queue) > 0 {
+		ev := s.queue[0]
+		if ev.cancel {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
+// NextAt returns the timestamp of the next pending event and true, or zero
+// and false when the queue is empty.
+func (s *Scheduler) NextAt() (Time, bool) {
+	ev := s.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
+// Ticker invokes a callback at a fixed period until stopped. It is the
+// virtual-time analogue of time.Ticker, used for monitoring probes and link
+// variability updates.
+type Ticker struct {
+	s      *Scheduler
+	period time.Duration
+	fn     func(now Time)
+	ev     *Event
+	stop   bool
+}
+
+// NewTicker schedules fn every period, with the first firing one period from
+// now. period must be positive.
+func (s *Scheduler) NewTicker(period time.Duration, fn func(now Time)) *Ticker {
+	if period <= 0 {
+		panic("simtime: ticker period must be positive")
+	}
+	t := &Ticker{s: s, period: period, fn: fn}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.ev = t.s.After(t.period, func() {
+		if t.stop {
+			return
+		}
+		t.fn(t.s.Now())
+		if !t.stop {
+			t.schedule()
+		}
+	})
+}
+
+// Stop prevents any further firings.
+func (t *Ticker) Stop() {
+	t.stop = true
+	t.s.Cancel(t.ev)
+}
+
+// eventQueue is a min-heap ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,260 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var s Scheduler
+	fired := false
+	s.After(time.Second, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("Now = %v, want 1s", s.Now())
+	}
+}
+
+func TestEventOrderByTime(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(3*time.Second, func() { order = append(order, 3) })
+	s.At(1*time.Second, func() { order = append(order, 1) })
+	s.At(2*time.Second, func() { order = append(order, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("tie broken out of order: %v", order)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	s.At(time.Millisecond, func() {})
+}
+
+func TestAfterNegativeClampsToNow(t *testing.T) {
+	s := New()
+	s.At(time.Second, func() {
+		s.After(-time.Minute, func() {})
+	})
+	s.Run() // must not panic
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	ev := s.After(time.Second, func() { fired = true })
+	if !ev.Scheduled() {
+		t.Fatal("event should report scheduled")
+	}
+	s.Cancel(ev)
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Cancelling again, or cancelling nil, must be safe.
+	s.Cancel(ev)
+	s.Cancel(nil)
+}
+
+func TestCancelDuringExecution(t *testing.T) {
+	s := New()
+	var ev2 *Event
+	fired := false
+	s.At(time.Second, func() { s.Cancel(ev2) })
+	ev2 = s.At(2*time.Second, func() { fired = true })
+	s.Run()
+	if fired {
+		t.Fatal("event cancelled by earlier event still fired")
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	s := New()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 5 {
+			s.After(time.Second, chain)
+		}
+	}
+	s.After(time.Second, chain)
+	s.Run()
+	if count != 5 {
+		t.Fatalf("chain fired %d times, want 5", count)
+	}
+	if s.Now() != 5*time.Second {
+		t.Fatalf("Now = %v, want 5s", s.Now())
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	s := New()
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		d := d
+		s.At(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(2 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if s.Now() != 2*time.Second {
+		t.Fatalf("Now = %v, want 2s", s.Now())
+	}
+	s.RunUntil(10 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+	if s.Now() != 10*time.Second {
+		t.Fatalf("Now = %v, want 10s (clock advances to horizon)", s.Now())
+	}
+}
+
+func TestRunUntilHonorsEventsScheduledWithinHorizon(t *testing.T) {
+	s := New()
+	var hits int
+	s.At(time.Second, func() {
+		hits++
+		s.After(500*time.Millisecond, func() { hits++ })
+	})
+	s.RunUntil(2 * time.Second)
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	s := New()
+	s.RunFor(time.Minute)
+	s.RunFor(time.Minute)
+	if s.Now() != 2*time.Minute {
+		t.Fatalf("Now = %v, want 2m", s.Now())
+	}
+}
+
+func TestNextAt(t *testing.T) {
+	s := New()
+	if _, ok := s.NextAt(); ok {
+		t.Fatal("NextAt on empty queue should report false")
+	}
+	ev := s.At(time.Second, func() {})
+	if at, ok := s.NextAt(); !ok || at != time.Second {
+		t.Fatalf("NextAt = %v,%v", at, ok)
+	}
+	s.Cancel(ev)
+	if _, ok := s.NextAt(); ok {
+		t.Fatal("NextAt should skip cancelled events")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New()
+	var times []time.Duration
+	tk := s.NewTicker(time.Second, func(now time.Duration) {
+		times = append(times, now)
+	})
+	s.RunUntil(3500 * time.Millisecond)
+	tk.Stop()
+	s.RunUntil(10 * time.Second)
+	if len(times) != 3 {
+		t.Fatalf("ticker fired %d times, want 3: %v", len(times), times)
+	}
+	for i, ts := range times {
+		want := time.Duration(i+1) * time.Second
+		if ts != want {
+			t.Fatalf("tick %d at %v, want %v", i, ts, want)
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	s := New()
+	count := 0
+	var tk *Ticker
+	tk = s.NewTicker(time.Second, func(now time.Duration) {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	s.RunUntil(time.Minute)
+	if count != 2 {
+		t.Fatalf("ticker fired %d times after Stop inside callback, want 2", count)
+	}
+}
+
+func TestTickerInvalidPeriodPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive period")
+		}
+	}()
+	s.NewTicker(0, func(time.Duration) {})
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := New()
+	for i := 0; i < 7; i++ {
+		s.After(time.Duration(i)*time.Second, func() {})
+	}
+	s.Run()
+	if s.Fired() != 7 {
+		t.Fatalf("Fired = %d, want 7", s.Fired())
+	}
+}
+
+// Property: for any set of non-negative offsets, events fire in
+// non-decreasing time order and the clock never goes backwards.
+func TestPropertyMonotonicClock(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := New()
+		last := time.Duration(-1)
+		ok := true
+		for _, o := range offsets {
+			d := time.Duration(o) * time.Millisecond
+			s.After(d, func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

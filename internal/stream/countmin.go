@@ -1,0 +1,99 @@
+package stream
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// CountMin is a mergeable count-min sketch: approximate per-key event counts
+// in sublinear space, with one-sided error (never undercounts). Sites sketch
+// their local streams; the sink merges cell-wise and queries hot keys — the
+// heavy-hitter path when key cardinality is too large to ship exact keyed
+// aggregates.
+type CountMin struct {
+	width int
+	depth int
+	cells [][]uint64
+	total uint64
+}
+
+// NewCountMin returns a sketch with the given width (columns per row) and
+// depth (independent hash rows). Error is about total/width with probability
+// ~1-2^-depth; width 2048, depth 4 is a good default for per-window use.
+func NewCountMin(width, depth int) *CountMin {
+	if width <= 0 || depth <= 0 || depth > 16 {
+		panic("stream: CountMin needs width > 0 and depth in [1,16]")
+	}
+	cm := &CountMin{width: width, depth: depth, cells: make([][]uint64, depth)}
+	for i := range cm.cells {
+		cm.cells[i] = make([]uint64, width)
+	}
+	return cm
+}
+
+// hashes derives depth independent positions for a key via double hashing
+// over an avalanche-mixed FNV value.
+func (c *CountMin) hashes(key string) []int {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	x := h.Sum64()
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	h1 := x & 0xffffffff
+	h2 := x >> 32
+	if h2%2 == 0 {
+		h2++ // odd second hash avoids short cycles
+	}
+	out := make([]int, c.depth)
+	for i := range out {
+		out[i] = int((h1 + uint64(i)*h2) % uint64(c.width))
+	}
+	return out
+}
+
+// Add counts one occurrence of key (use AddN for weighted events).
+func (c *CountMin) Add(key string) { c.AddN(key, 1) }
+
+// AddN counts n occurrences.
+func (c *CountMin) AddN(key string, n uint64) {
+	for i, pos := range c.hashes(key) {
+		c.cells[i][pos] += n
+	}
+	c.total += n
+}
+
+// Count returns the estimated occurrences of key — always >= the true count.
+func (c *CountMin) Count(key string) uint64 {
+	min := uint64(math.MaxUint64)
+	for i, pos := range c.hashes(key) {
+		if v := c.cells[i][pos]; v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Total returns the exact number of counted occurrences.
+func (c *CountMin) Total() uint64 { return c.total }
+
+// Merge folds another sketch with identical geometry into this one.
+func (c *CountMin) Merge(o *CountMin) {
+	if o == nil {
+		return
+	}
+	if o.width != c.width || o.depth != c.depth {
+		panic("stream: merging CountMin sketches with different geometry")
+	}
+	for i := range c.cells {
+		for j := range c.cells[i] {
+			c.cells[i][j] += o.cells[i][j]
+		}
+	}
+	c.total += o.total
+}
+
+// SerializedBytes is the wire size (8 bytes per cell).
+func (c *CountMin) SerializedBytes() int64 {
+	return int64(c.width) * int64(c.depth) * 8
+}

@@ -1,0 +1,85 @@
+package stream
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Distinct is a mergeable cardinality sketch (a HyperLogLog variant with
+// 2^p registers) for counting distinct keys across sites: each site sketches
+// its local stream, the sink merges register-wise and estimates the global
+// distinct count without shipping key sets.
+type Distinct struct {
+	p    uint8
+	regs []uint8
+}
+
+// NewDistinct returns a sketch with 2^p registers; p in [4, 16]. p = 11
+// (2048 registers, ~2 KB, ~2.3% standard error) suits per-window partials.
+func NewDistinct(p uint8) *Distinct {
+	if p < 4 || p > 16 {
+		panic("stream: Distinct precision must be in [4,16]")
+	}
+	return &Distinct{p: p, regs: make([]uint8, 1<<p)}
+}
+
+// Add observes one key.
+func (d *Distinct) Add(key string) {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	x := h.Sum64()
+	// FNV mixes poorly into the high bits for short keys; finalize with a
+	// SplitMix64-style avalanche so register selection is uniform.
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	idx := x >> (64 - d.p)
+	rest := x<<d.p | 1<<(d.p-1) // ensure non-zero so rank is bounded
+	rank := uint8(1)
+	for rest&(1<<63) == 0 {
+		rank++
+		rest <<= 1
+	}
+	if rank > d.regs[idx] {
+		d.regs[idx] = rank
+	}
+}
+
+// Merge folds another sketch with the same precision into this one.
+func (d *Distinct) Merge(o *Distinct) {
+	if o == nil {
+		return
+	}
+	if o.p != d.p {
+		panic("stream: merging Distinct sketches with different precision")
+	}
+	for i, r := range o.regs {
+		if r > d.regs[i] {
+			d.regs[i] = r
+		}
+	}
+}
+
+// Estimate returns the approximate number of distinct keys observed.
+func (d *Distinct) Estimate() float64 {
+	m := float64(len(d.regs))
+	var sum float64
+	zeros := 0
+	for _, r := range d.regs {
+		sum += math.Exp2(-float64(r))
+		if r == 0 {
+			zeros++
+		}
+	}
+	alpha := 0.7213 / (1 + 1.079/m)
+	e := alpha * m * m / sum
+	// Small-range correction (linear counting) when many registers are
+	// still empty.
+	if e <= 2.5*m && zeros > 0 {
+		return m * math.Log(m/float64(zeros))
+	}
+	return e
+}
+
+// SerializedBytes is the wire size of the sketch (one byte per register).
+func (d *Distinct) SerializedBytes() int64 { return int64(len(d.regs)) }

@@ -1,0 +1,121 @@
+package stream
+
+import (
+	"fmt"
+	"time"
+)
+
+// Pipeline is a composable per-site processing chain: an ordered list of
+// map/filter stages feeding a windowed keyed aggregation. It is the
+// user-facing way to express "parse, clean, enrich, aggregate" without
+// hand-rolling the stage plumbing; core jobs accept the fused MapFunc via
+// Fuse.
+type Pipeline struct {
+	stages []stage
+}
+
+type stage struct {
+	name string
+	fn   MapFunc
+}
+
+// NewPipeline returns an empty pipeline.
+func NewPipeline() *Pipeline { return &Pipeline{} }
+
+// Map appends a transformation stage.
+func (p *Pipeline) Map(name string, fn func(Event) Event) *Pipeline {
+	p.stages = append(p.stages, stage{name: name, fn: func(e Event) (Event, bool) {
+		return fn(e), true
+	}})
+	return p
+}
+
+// Filter appends a predicate stage; events failing it are dropped.
+func (p *Pipeline) Filter(name string, keep func(Event) bool) *Pipeline {
+	p.stages = append(p.stages, stage{name: name, fn: func(e Event) (Event, bool) {
+		return e, keep(e)
+	}})
+	return p
+}
+
+// MapFilter appends a combined stage.
+func (p *Pipeline) MapFilter(name string, fn MapFunc) *Pipeline {
+	p.stages = append(p.stages, stage{name: name, fn: fn})
+	return p
+}
+
+// Rekey appends a stage replacing the event key (e.g. sensor id -> region).
+func (p *Pipeline) Rekey(name string, key func(Event) string) *Pipeline {
+	return p.Map(name, func(e Event) Event {
+		e.Key = key(e)
+		return e
+	})
+}
+
+// Scale appends a stage multiplying values (unit conversion).
+func (p *Pipeline) Scale(name string, factor float64) *Pipeline {
+	return p.Map(name, func(e Event) Event {
+		e.Value *= factor
+		return e
+	})
+}
+
+// Clamp appends a stage dropping events outside [lo, hi] — the standard
+// sensor-fault guard.
+func (p *Pipeline) Clamp(name string, lo, hi float64) *Pipeline {
+	return p.Filter(name, func(e Event) bool {
+		return e.Value >= lo && e.Value <= hi
+	})
+}
+
+// Stages returns the stage names in order.
+func (p *Pipeline) Stages() []string {
+	out := make([]string, len(p.stages))
+	for i, s := range p.stages {
+		out[i] = s.name
+	}
+	return out
+}
+
+// Fuse compiles the pipeline into a single MapFunc suitable for
+// core.JobSpec.Map. Stage order is preserved; a drop short-circuits.
+func (p *Pipeline) Fuse() MapFunc {
+	stages := append([]stage(nil), p.stages...)
+	return func(e Event) (Event, bool) {
+		for _, s := range stages {
+			var ok bool
+			e, ok = s.fn(e)
+			if !ok {
+				return e, false
+			}
+		}
+		return e, true
+	}
+}
+
+// Process runs a batch of events through the pipeline into a fresh windowed
+// aggregate and returns it with per-stage drop counts — the local-stage
+// debugging view.
+func (p *Pipeline) Process(events []Event, width time.Duration, kind AggKind) (*WindowAgg, []int) {
+	agg := NewWindowAgg(width, kind)
+	drops := make([]int, len(p.stages))
+	for _, e := range events {
+		ev, ok := e, true
+		for i, s := range p.stages {
+			ev, ok = s.fn(ev)
+			if !ok {
+				drops[i]++
+				break
+			}
+		}
+		if ok {
+			agg.Add(ev)
+		}
+	}
+	return agg, drops
+}
+
+// String lists the stages.
+func (p *Pipeline) String() string {
+	return fmt.Sprintf("pipeline%v", p.Stages())
+}

@@ -1,0 +1,199 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPipelineFuseOrderAndDrop(t *testing.T) {
+	p := NewPipeline().
+		Scale("to-celsius", 0.5).
+		Clamp("valid-range", 0, 100).
+		Rekey("by-prefix", func(e Event) string { return e.Key[:1] })
+	f := p.Fuse()
+	out, ok := f(Event{Key: "sensor-1", Value: 60})
+	if !ok || out.Value != 30 || out.Key != "s" {
+		t.Fatalf("fused = %+v, %v", out, ok)
+	}
+	// 300*0.5 = 150 > 100: dropped by the clamp, after scaling.
+	if _, ok := f(Event{Key: "sensor-1", Value: 300}); ok {
+		t.Fatal("clamp should drop after scale")
+	}
+}
+
+func TestPipelineStagesAndString(t *testing.T) {
+	p := NewPipeline().Map("a", func(e Event) Event { return e }).Filter("b", func(Event) bool { return true })
+	got := p.Stages()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("stages = %v", got)
+	}
+	if !strings.Contains(p.String(), "a") {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestPipelineProcessDropAccounting(t *testing.T) {
+	p := NewPipeline().
+		Clamp("clamp", 0, 10).
+		Filter("evens", func(e Event) bool { return int(e.Value)%2 == 0 })
+	var events []Event
+	for i := 0; i < 20; i++ {
+		events = append(events, Event{Key: "k", Value: float64(i), Time: time.Second})
+	}
+	agg, drops := p.Process(events, 10*time.Second, Count)
+	// Values 11..19 dropped by clamp (9); odd values 1..9 dropped by
+	// filter (5); kept: 0,2,4,6,8,10 -> 6.
+	if drops[0] != 9 || drops[1] != 5 {
+		t.Fatalf("drops = %v", drops)
+	}
+	closed := agg.Advance(time.Hour)
+	if len(closed) != 1 {
+		t.Fatalf("windows = %d", len(closed))
+	}
+	if v, _ := closed[0].Agg.Value("k"); v != 6 {
+		t.Fatalf("count = %v, want 6", v)
+	}
+}
+
+func TestPipelineEmptyFuseIsIdentity(t *testing.T) {
+	f := NewPipeline().Fuse()
+	e := Event{Key: "x", Value: 7}
+	out, ok := f(e)
+	if !ok || out != e {
+		t.Fatal("empty pipeline should pass events through")
+	}
+}
+
+func TestPipelineMapFilter(t *testing.T) {
+	p := NewPipeline().MapFilter("both", func(e Event) (Event, bool) {
+		e.Value++
+		return e, e.Value < 5
+	})
+	if out, ok := p.Fuse()(Event{Value: 3}); !ok || out.Value != 4 {
+		t.Fatalf("MapFilter = %v,%v", out, ok)
+	}
+	if _, ok := p.Fuse()(Event{Value: 4}); ok {
+		t.Fatal("MapFilter should drop")
+	}
+}
+
+func TestCountMinNeverUndercounts(t *testing.T) {
+	cm := NewCountMin(2048, 4)
+	truth := map[string]uint64{}
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("key-%d", i%200)
+		cm.Add(k)
+		truth[k]++
+	}
+	for k, want := range truth {
+		if got := cm.Count(k); got < want {
+			t.Fatalf("undercount for %s: %d < %d", k, got, want)
+		}
+	}
+	if cm.Total() != 5000 {
+		t.Fatalf("Total = %d", cm.Total())
+	}
+}
+
+func TestCountMinAccurateForHeavyHitters(t *testing.T) {
+	cm := NewCountMin(2048, 4)
+	for i := 0; i < 10000; i++ {
+		cm.Add("hot")
+		cm.Add(fmt.Sprintf("cold-%d", i))
+	}
+	got := cm.Count("hot")
+	// Overcount bounded by ~total/width = 20000/2048 ≈ 10.
+	if got < 10000 || got > 10100 {
+		t.Fatalf("hot count = %d, want ~10000", got)
+	}
+}
+
+func TestCountMinMergeMatchesUnion(t *testing.T) {
+	a, b, union := NewCountMin(1024, 4), NewCountMin(1024, 4), NewCountMin(1024, 4)
+	for i := 0; i < 3000; i++ {
+		k := fmt.Sprintf("k%d", i%50)
+		union.Add(k)
+		if i%2 == 0 {
+			a.Add(k)
+		} else {
+			b.Add(k)
+		}
+	}
+	a.Merge(b)
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if a.Count(k) != union.Count(k) {
+			t.Fatalf("merged count differs for %s", k)
+		}
+	}
+	if a.Total() != union.Total() {
+		t.Fatal("merged totals differ")
+	}
+}
+
+func TestCountMinWeighted(t *testing.T) {
+	cm := NewCountMin(256, 3)
+	cm.AddN("k", 41)
+	cm.Add("k")
+	if got := cm.Count("k"); got != 42 {
+		t.Fatalf("weighted count = %d", got)
+	}
+}
+
+func TestCountMinValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewCountMin(0, 4) },
+		func() { NewCountMin(16, 0) },
+		func() { NewCountMin(16, 17) },
+		func() { NewCountMin(16, 4).Merge(NewCountMin(32, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	cm := NewCountMin(16, 4)
+	cm.Merge(nil) // no-op
+}
+
+func TestCountMinSerializedBytes(t *testing.T) {
+	if NewCountMin(100, 4).SerializedBytes() != 3200 {
+		t.Fatal("100x4x8 bytes expected")
+	}
+}
+
+// Property: count-min estimates are monotone under merge (merging can only
+// increase any key's estimate).
+func TestPropertyCountMinMergeMonotone(t *testing.T) {
+	f := func(keysA, keysB []uint8) bool {
+		a, b := NewCountMin(128, 3), NewCountMin(128, 3)
+		for _, k := range keysA {
+			a.Add(fmt.Sprintf("k%d", k))
+		}
+		for _, k := range keysB {
+			b.Add(fmt.Sprintf("k%d", k))
+		}
+		before := map[string]uint64{}
+		for i := 0; i < 256; i++ {
+			k := fmt.Sprintf("k%d", i)
+			before[k] = a.Count(k)
+		}
+		a.Merge(b)
+		for k, v := range before {
+			if a.Count(k) < v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

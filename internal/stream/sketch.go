@@ -1,0 +1,129 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sketch is a mergeable fixed-bin histogram over a configured value range,
+// used for quantile estimates of stream values (and of batch latencies in
+// reports). Unlike streaming quantile algorithms such as P², histogram
+// sketches merge exactly, which is what geo-distributed partial aggregation
+// requires: each site sketches locally, the sink merges.
+type Sketch struct {
+	lo, hi  float64
+	bins    []uint64
+	total   uint64
+	underf  uint64 // below lo
+	overf   uint64 // at or above hi
+	sum     float64
+	minSeen float64
+	maxSeen float64
+}
+
+// NewSketch returns a histogram sketch with the given bin count over
+// [lo, hi). Values outside the range are counted in saturating edge buckets,
+// so quantiles remain defined (clamped) even for misconfigured ranges.
+func NewSketch(lo, hi float64, bins int) *Sketch {
+	if !(hi > lo) || bins <= 0 {
+		panic(fmt.Sprintf("stream: invalid sketch range [%v,%v) x %d", lo, hi, bins))
+	}
+	return &Sketch{lo: lo, hi: hi, bins: make([]uint64, bins),
+		minSeen: math.Inf(1), maxSeen: math.Inf(-1)}
+}
+
+// Add records one value.
+func (s *Sketch) Add(v float64) {
+	s.total++
+	s.sum += v
+	s.minSeen = math.Min(s.minSeen, v)
+	s.maxSeen = math.Max(s.maxSeen, v)
+	switch {
+	case v < s.lo:
+		s.underf++
+	case v >= s.hi:
+		s.overf++
+	default:
+		i := int((v - s.lo) / (s.hi - s.lo) * float64(len(s.bins)))
+		if i >= len(s.bins) {
+			i = len(s.bins) - 1
+		}
+		s.bins[i]++
+	}
+}
+
+// Count returns the number of recorded values.
+func (s *Sketch) Count() uint64 { return s.total }
+
+// Mean returns the exact mean of recorded values (0 when empty).
+func (s *Sketch) Mean() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return s.sum / float64(s.total)
+}
+
+// Min and Max return the exact extremes (0 when empty).
+func (s *Sketch) Min() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return s.minSeen
+}
+
+// Max returns the exact maximum (0 when empty).
+func (s *Sketch) Max() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return s.maxSeen
+}
+
+// Merge folds another sketch with identical geometry into this one. Sketches
+// with different geometry panic: merging them would silently misplace mass.
+func (s *Sketch) Merge(o *Sketch) {
+	if o == nil {
+		return
+	}
+	if o.lo != s.lo || o.hi != s.hi || len(o.bins) != len(s.bins) {
+		panic("stream: merging sketches with different geometry")
+	}
+	for i, c := range o.bins {
+		s.bins[i] += c
+	}
+	s.total += o.total
+	s.underf += o.underf
+	s.overf += o.overf
+	s.sum += o.sum
+	s.minSeen = math.Min(s.minSeen, o.minSeen)
+	s.maxSeen = math.Max(s.maxSeen, o.maxSeen)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// within the containing bin. It returns 0 for an empty sketch.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.total)
+	acc := float64(s.underf)
+	if target <= acc {
+		return math.Max(s.minSeen, s.lo-1) // mass below range: clamp
+	}
+	width := (s.hi - s.lo) / float64(len(s.bins))
+	for i, c := range s.bins {
+		next := acc + float64(c)
+		if target <= next && c > 0 {
+			frac := (target - acc) / float64(c)
+			return s.lo + (float64(i)+frac)*width
+		}
+		acc = next
+	}
+	return math.Min(s.maxSeen, s.hi) // mass above range: clamp
+}

@@ -1,0 +1,319 @@
+// Package stream provides SAGE's streaming-analysis primitives: events,
+// map/filter stages, keyed mergeable aggregations, tumbling windows and
+// mergeable histogram sketches.
+//
+// The geo-distributed setting imposes one structural requirement on every
+// aggregation here: partial results computed independently at different
+// sites must merge into the exact global result at the sink ("meta-reducer")
+// site. All aggregate kinds in this package are commutative monoids under
+// Merge, and the property tests assert it.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/simtime"
+)
+
+// Event is one stream record.
+type Event struct {
+	// Key partitions the aggregation (sensor id, gene id, ...).
+	Key string
+	// Value is the measurement.
+	Value float64
+	// Time is the event timestamp in virtual time.
+	Time simtime.Time
+	// Site is the datacenter where the event was produced.
+	Site cloud.SiteID
+}
+
+// MapFunc transforms an event; returning false drops it (filter).
+type MapFunc func(Event) (Event, bool)
+
+// Chain composes map stages left to right, short-circuiting on drop.
+func Chain(fns ...MapFunc) MapFunc {
+	return func(e Event) (Event, bool) {
+		for _, f := range fns {
+			var ok bool
+			e, ok = f(e)
+			if !ok {
+				return e, false
+			}
+		}
+		return e, true
+	}
+}
+
+// AggKind selects the per-key aggregation function.
+type AggKind int
+
+// The supported keyed aggregations.
+const (
+	Count AggKind = iota
+	Sum
+	Mean
+	Min
+	Max
+)
+
+// String implements fmt.Stringer.
+func (k AggKind) String() string {
+	switch k {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Mean:
+		return "mean"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return fmt.Sprintf("AggKind(%d)", int(k))
+	}
+}
+
+// cell is the mergeable accumulator for one key.
+type cell struct {
+	count int64
+	sum   float64
+	min   float64
+	max   float64
+}
+
+func (c *cell) add(v float64) {
+	if c.count == 0 {
+		c.min, c.max = v, v
+	} else {
+		c.min = math.Min(c.min, v)
+		c.max = math.Max(c.max, v)
+	}
+	c.count++
+	c.sum += v
+}
+
+func (c *cell) merge(o *cell) {
+	if o.count == 0 {
+		return
+	}
+	if c.count == 0 {
+		*c = *o
+		return
+	}
+	c.min = math.Min(c.min, o.min)
+	c.max = math.Max(c.max, o.max)
+	c.count += o.count
+	c.sum += o.sum
+}
+
+func (c *cell) value(kind AggKind) float64 {
+	switch kind {
+	case Count:
+		return float64(c.count)
+	case Sum:
+		return c.sum
+	case Mean:
+		if c.count == 0 {
+			return 0
+		}
+		return c.sum / float64(c.count)
+	case Min:
+		return c.min
+	case Max:
+		return c.max
+	default:
+		panic(fmt.Sprintf("stream: unknown AggKind %d", kind))
+	}
+}
+
+// KeyedAgg is a per-key mergeable aggregate.
+type KeyedAgg struct {
+	Kind  AggKind
+	cells map[string]*cell
+}
+
+// NewKeyedAgg returns an empty aggregate of the given kind.
+func NewKeyedAgg(kind AggKind) *KeyedAgg {
+	return &KeyedAgg{Kind: kind, cells: make(map[string]*cell)}
+}
+
+// Add folds one event into the aggregate.
+func (a *KeyedAgg) Add(e Event) { a.AddValue(e.Key, e.Value) }
+
+// AddValue folds a raw key/value pair.
+func (a *KeyedAgg) AddValue(key string, v float64) {
+	c := a.cells[key]
+	if c == nil {
+		c = &cell{}
+		a.cells[key] = c
+	}
+	c.add(v)
+}
+
+// Merge folds another aggregate of the same kind into this one. Merging
+// different kinds panics: it is a programming error that would silently
+// corrupt results.
+func (a *KeyedAgg) Merge(o *KeyedAgg) {
+	if o == nil {
+		return
+	}
+	if a.Kind != o.Kind {
+		panic(fmt.Sprintf("stream: merging %v into %v", o.Kind, a.Kind))
+	}
+	for k, oc := range o.cells {
+		c := a.cells[k]
+		if c == nil {
+			c = &cell{}
+			a.cells[k] = c
+		}
+		c.merge(oc)
+	}
+}
+
+// Keys returns the number of distinct keys.
+func (a *KeyedAgg) Keys() int { return len(a.cells) }
+
+// Events returns the number of events folded in.
+func (a *KeyedAgg) Events() int64 {
+	var n int64
+	for _, c := range a.cells {
+		n += c.count
+	}
+	return n
+}
+
+// Value returns the aggregate value for one key (0 for absent keys, with
+// ok=false).
+func (a *KeyedAgg) Value(key string) (float64, bool) {
+	c, ok := a.cells[key]
+	if !ok {
+		return 0, false
+	}
+	return c.value(a.Kind), true
+}
+
+// Result returns all key values, deterministically sorted by key.
+type KV struct {
+	Key   string
+	Value float64
+}
+
+// Result lists every key's aggregate value sorted by key.
+func (a *KeyedAgg) Result() []KV {
+	out := make([]KV, 0, len(a.cells))
+	for k, c := range a.cells {
+		out = append(out, KV{Key: k, Value: c.value(a.Kind)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// TopK returns the k keys with the largest aggregate values, ties broken by
+// key for determinism.
+func (a *KeyedAgg) TopK(k int) []KV {
+	all := a.Result()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Value != all[j].Value {
+			return all[i].Value > all[j].Value
+		}
+		return all[i].Key < all[j].Key
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// SerializedBytes estimates the wire size of the aggregate's partial result:
+// key bytes plus a fixed per-key record. It is the quantity SAGE ships
+// between sites instead of raw events.
+func (a *KeyedAgg) SerializedBytes() int64 {
+	var n int64
+	for k := range a.cells {
+		n += int64(len(k)) + 32 // count, sum, min, max as fixed64
+	}
+	return n
+}
+
+// Window is a half-open event-time interval [Start, End).
+type Window struct {
+	Start, End simtime.Time
+}
+
+// Contains reports whether t falls in the window.
+func (w Window) Contains(t simtime.Time) bool { return t >= w.Start && t < w.End }
+
+// String renders "[10s,20s)".
+func (w Window) String() string { return fmt.Sprintf("[%v,%v)", w.Start, w.End) }
+
+// WindowFor returns the tumbling window of the given width containing t.
+func WindowFor(t simtime.Time, width time.Duration) Window {
+	if width <= 0 {
+		panic("stream: window width must be positive")
+	}
+	start := t - (t % width)
+	return Window{Start: start, End: start + width}
+}
+
+// WindowAgg accumulates keyed aggregates per tumbling window and releases
+// windows as a watermark advances — the site-local stage of a SAGE job.
+type WindowAgg struct {
+	Width time.Duration
+	Kind  AggKind
+	open  map[simtime.Time]*KeyedAgg
+}
+
+// NewWindowAgg returns an empty windowed aggregator.
+func NewWindowAgg(width time.Duration, kind AggKind) *WindowAgg {
+	if width <= 0 {
+		panic("stream: window width must be positive")
+	}
+	return &WindowAgg{Width: width, Kind: kind, open: make(map[simtime.Time]*KeyedAgg)}
+}
+
+// Add folds an event into its window.
+func (w *WindowAgg) Add(e Event) {
+	win := WindowFor(e.Time, w.Width)
+	agg := w.open[win.Start]
+	if agg == nil {
+		agg = NewKeyedAgg(w.Kind)
+		w.open[win.Start] = agg
+	}
+	agg.Add(e)
+}
+
+// Open returns the number of windows not yet closed.
+func (w *WindowAgg) Open() int { return len(w.open) }
+
+// Closed is an emitted window partial.
+type Closed struct {
+	Window Window
+	Agg    *KeyedAgg
+}
+
+// Advance closes every window that ends at or before the watermark and
+// returns them ordered by window start. Events older than the watermark
+// arriving later open a fresh (late) window; SAGE treats those as late data.
+func (w *WindowAgg) Advance(watermark simtime.Time) []Closed {
+	var starts []simtime.Time
+	for start := range w.open {
+		if start+simtime.Time(w.Width) <= watermark {
+			starts = append(starts, start)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	out := make([]Closed, 0, len(starts))
+	for _, s := range starts {
+		out = append(out, Closed{
+			Window: Window{Start: s, End: s + simtime.Time(w.Width)},
+			Agg:    w.open[s],
+		})
+		delete(w.open, s)
+	}
+	return out
+}

@@ -1,0 +1,375 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sage/internal/simtime"
+)
+
+func ev(key string, v float64, at time.Duration) Event {
+	return Event{Key: key, Value: v, Time: at}
+}
+
+func TestChain(t *testing.T) {
+	double := func(e Event) (Event, bool) { e.Value *= 2; return e, true }
+	dropNeg := func(e Event) (Event, bool) { return e, e.Value >= 0 }
+	f := Chain(double, dropNeg)
+	if out, ok := f(ev("k", 3, 0)); !ok || out.Value != 6 {
+		t.Fatalf("chain = %v,%v", out, ok)
+	}
+	if _, ok := f(ev("k", -1, 0)); ok {
+		t.Fatal("chain should drop negative after doubling")
+	}
+}
+
+func TestKeyedAggKinds(t *testing.T) {
+	events := []Event{ev("a", 2, 0), ev("a", 4, 0), ev("b", -1, 0)}
+	cases := []struct {
+		kind AggKind
+		a, b float64
+	}{
+		{Count, 2, 1},
+		{Sum, 6, -1},
+		{Mean, 3, -1},
+		{Min, 2, -1},
+		{Max, 4, -1},
+	}
+	for _, c := range cases {
+		agg := NewKeyedAgg(c.kind)
+		for _, e := range events {
+			agg.Add(e)
+		}
+		if got, ok := agg.Value("a"); !ok || got != c.a {
+			t.Fatalf("%v: a = %v,%v; want %v", c.kind, got, ok, c.a)
+		}
+		if got, ok := agg.Value("b"); !ok || got != c.b {
+			t.Fatalf("%v: b = %v,%v; want %v", c.kind, got, ok, c.b)
+		}
+	}
+	agg := NewKeyedAgg(Sum)
+	if _, ok := agg.Value("absent"); ok {
+		t.Fatal("absent key should report !ok")
+	}
+}
+
+func TestKeyedAggCounters(t *testing.T) {
+	agg := NewKeyedAgg(Sum)
+	agg.AddValue("x", 1)
+	agg.AddValue("x", 1)
+	agg.AddValue("y", 1)
+	if agg.Keys() != 2 || agg.Events() != 3 {
+		t.Fatalf("Keys=%d Events=%d", agg.Keys(), agg.Events())
+	}
+}
+
+func TestKeyedAggResultSorted(t *testing.T) {
+	agg := NewKeyedAgg(Sum)
+	for _, k := range []string{"z", "a", "m"} {
+		agg.AddValue(k, 1)
+	}
+	res := agg.Result()
+	if len(res) != 3 || res[0].Key != "a" || res[1].Key != "m" || res[2].Key != "z" {
+		t.Fatalf("Result = %v", res)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	agg := NewKeyedAgg(Sum)
+	agg.AddValue("small", 1)
+	agg.AddValue("big", 10)
+	agg.AddValue("mid", 5)
+	agg.AddValue("tie", 5)
+	top := agg.TopK(3)
+	if top[0].Key != "big" {
+		t.Fatalf("TopK[0] = %v", top[0])
+	}
+	// Tie broken by key: "mid" < "tie".
+	if top[1].Key != "mid" || top[2].Key != "tie" {
+		t.Fatalf("tie-break wrong: %v", top)
+	}
+	if got := agg.TopK(99); len(got) != 4 {
+		t.Fatalf("TopK over-count = %d", len(got))
+	}
+}
+
+func TestMergeMatchesSingleNode(t *testing.T) {
+	// The geo-distribution invariant: partials merged == computed centrally.
+	for _, kind := range []AggKind{Count, Sum, Mean, Min, Max} {
+		central := NewKeyedAgg(kind)
+		siteA := NewKeyedAgg(kind)
+		siteB := NewKeyedAgg(kind)
+		vals := []float64{3, -2, 7, 0.5, 11, -4}
+		for i, v := range vals {
+			e := ev("k"+string(rune('a'+i%2)), v, 0)
+			central.Add(e)
+			if i%2 == 0 {
+				siteA.Add(e)
+			} else {
+				siteB.Add(e)
+			}
+		}
+		siteA.Merge(siteB)
+		for _, kv := range central.Result() {
+			got, _ := siteA.Value(kv.Key)
+			if math.Abs(got-kv.Value) > 1e-12 {
+				t.Fatalf("%v: merged %v, central %v for key %s", kind, got, kv.Value, kv.Key)
+			}
+		}
+	}
+}
+
+func TestMergeKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewKeyedAgg(Sum).Merge(NewKeyedAgg(Count))
+}
+
+func TestMergeNilIsNoop(t *testing.T) {
+	a := NewKeyedAgg(Sum)
+	a.AddValue("x", 1)
+	a.Merge(nil)
+	if v, _ := a.Value("x"); v != 1 {
+		t.Fatal("nil merge changed state")
+	}
+}
+
+func TestSerializedBytes(t *testing.T) {
+	a := NewKeyedAgg(Sum)
+	if a.SerializedBytes() != 0 {
+		t.Fatal("empty aggregate should serialize to 0")
+	}
+	a.AddValue("abcd", 1)
+	a.AddValue("abcd", 2) // same key: size unchanged
+	if got := a.SerializedBytes(); got != 36 {
+		t.Fatalf("SerializedBytes = %d, want 4+32", got)
+	}
+}
+
+func TestWindowFor(t *testing.T) {
+	w := WindowFor(25*time.Second, 10*time.Second)
+	if w.Start != 20*time.Second || w.End != 30*time.Second {
+		t.Fatalf("window = %v", w)
+	}
+	if !w.Contains(20*time.Second) || w.Contains(30*time.Second) {
+		t.Fatal("half-open semantics violated")
+	}
+	if WindowFor(30*time.Second, 10*time.Second).Start != 30*time.Second {
+		t.Fatal("boundary event must open the next window")
+	}
+}
+
+func TestWindowAggAdvance(t *testing.T) {
+	wa := NewWindowAgg(10*time.Second, Sum)
+	wa.Add(ev("k", 1, 5*time.Second))
+	wa.Add(ev("k", 2, 15*time.Second))
+	wa.Add(ev("k", 4, 25*time.Second))
+	if wa.Open() != 3 {
+		t.Fatalf("Open = %d", wa.Open())
+	}
+	closed := wa.Advance(20 * time.Second)
+	if len(closed) != 2 {
+		t.Fatalf("closed %d windows, want 2", len(closed))
+	}
+	if closed[0].Window.Start != 0 || closed[1].Window.Start != 10*time.Second {
+		t.Fatalf("windows out of order: %v %v", closed[0].Window, closed[1].Window)
+	}
+	if v, _ := closed[0].Agg.Value("k"); v != 1 {
+		t.Fatalf("window 0 sum = %v", v)
+	}
+	if wa.Open() != 1 {
+		t.Fatalf("Open after advance = %d", wa.Open())
+	}
+	// Watermark not past end: window stays open.
+	if got := wa.Advance(25 * time.Second); len(got) != 0 {
+		t.Fatalf("premature close: %v", got)
+	}
+}
+
+func TestWindowAggLateEventOpensNewWindow(t *testing.T) {
+	wa := NewWindowAgg(10*time.Second, Sum)
+	wa.Add(ev("k", 1, 5*time.Second))
+	wa.Advance(10 * time.Second)
+	wa.Add(ev("k", 9, 6*time.Second)) // late
+	closed := wa.Advance(simtime.Time(time.Hour))
+	if len(closed) != 1 {
+		t.Fatalf("late event produced %d windows", len(closed))
+	}
+	if v, _ := closed[0].Agg.Value("k"); v != 9 {
+		t.Fatalf("late window sum = %v", v)
+	}
+}
+
+func TestWindowInvalidWidthPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewWindowAgg(0, Sum) },
+		func() { WindowFor(0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSketchQuantiles(t *testing.T) {
+	s := NewSketch(0, 100, 200)
+	for i := 0; i < 10000; i++ {
+		s.Add(float64(i%100) + 0.5)
+	}
+	for _, q := range []struct{ q, want float64 }{
+		{0.5, 50}, {0.95, 95}, {0.99, 99},
+	} {
+		got := s.Quantile(q.q)
+		if math.Abs(got-q.want) > 1.5 {
+			t.Fatalf("Quantile(%v) = %v, want ~%v", q.q, got, q.want)
+		}
+	}
+	if s.Count() != 10000 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if math.Abs(s.Mean()-50) > 0.5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+}
+
+func TestSketchEdgeBuckets(t *testing.T) {
+	s := NewSketch(10, 20, 10)
+	s.Add(5)   // under
+	s.Add(25)  // over
+	s.Add(100) // over
+	if s.Quantile(0) > 10 {
+		t.Fatalf("q0 = %v, should clamp low", s.Quantile(0))
+	}
+	if s.Quantile(1) < 20 {
+		t.Fatalf("q1 = %v, should clamp high", s.Quantile(1))
+	}
+	if s.Min() != 5 || s.Max() != 100 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSketchEmpty(t *testing.T) {
+	s := NewSketch(0, 1, 4)
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sketch should return zeros")
+	}
+}
+
+func TestSketchMergeExact(t *testing.T) {
+	a := NewSketch(0, 100, 50)
+	b := NewSketch(0, 100, 50)
+	whole := NewSketch(0, 100, 50)
+	for i := 0; i < 1000; i++ {
+		v := float64((i * 37) % 100)
+		whole.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(b)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("merged quantile %v differs: %v vs %v", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+	if a.Count() != whole.Count() || a.Mean() != whole.Mean() {
+		t.Fatal("merged moments differ")
+	}
+}
+
+func TestSketchMergeGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSketch(0, 1, 4).Merge(NewSketch(0, 2, 4))
+}
+
+func TestSketchInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSketch(1, 1, 4)
+}
+
+// Property: Merge is equivalent to adding all values into one aggregate,
+// for any kind and any split of any value sequence.
+func TestPropertyMergeEquivalence(t *testing.T) {
+	f := func(vals []int8, split uint8, kindRaw uint8) bool {
+		kind := AggKind(int(kindRaw) % 5)
+		one := NewKeyedAgg(kind)
+		a, b := NewKeyedAgg(kind), NewKeyedAgg(kind)
+		for i, raw := range vals {
+			v := float64(raw)
+			key := string(rune('a' + i%3))
+			one.AddValue(key, v)
+			if i < int(split)%(len(vals)+1) {
+				a.AddValue(key, v)
+			} else {
+				b.AddValue(key, v)
+			}
+		}
+		a.Merge(b)
+		ra, ro := a.Result(), one.Result()
+		if len(ra) != len(ro) {
+			return false
+		}
+		for i := range ra {
+			if ra[i].Key != ro[i].Key || math.Abs(ra[i].Value-ro[i].Value) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: windows partition time — every event lands in exactly the
+// window that contains its timestamp.
+func TestPropertyWindowPartition(t *testing.T) {
+	f := func(offsets []uint32) bool {
+		width := 10 * time.Second
+		for _, o := range offsets {
+			at := simtime.Time(o) * time.Millisecond
+			w := WindowFor(at, width)
+			if !w.Contains(at) {
+				return false
+			}
+			if w.End-w.Start != simtime.Time(width) {
+				return false
+			}
+			if w.Start%simtime.Time(width) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggKindString(t *testing.T) {
+	for k, want := range map[AggKind]string{Count: "count", Sum: "sum", Mean: "mean", Min: "min", Max: "max"} {
+		if k.String() != want {
+			t.Fatalf("String(%d) = %q", int(k), k.String())
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sage/internal/simtime"
+)
+
+// SlidingWindows assigns an event to every window of the given width that
+// contains it, with windows starting every slide. width must be a multiple
+// of slide so window boundaries align (the common configuration; it also
+// keeps partials mergeable across sites).
+type SlidingWindows struct {
+	Width, Slide time.Duration
+}
+
+// NewSlidingWindows validates the configuration.
+func NewSlidingWindows(width, slide time.Duration) SlidingWindows {
+	if width <= 0 || slide <= 0 {
+		panic("stream: sliding window width and slide must be positive")
+	}
+	if width%slide != 0 {
+		panic(fmt.Sprintf("stream: width %v must be a multiple of slide %v", width, slide))
+	}
+	return SlidingWindows{Width: width, Slide: slide}
+}
+
+// WindowsFor returns every window containing t, earliest first.
+func (s SlidingWindows) WindowsFor(t simtime.Time) []Window {
+	n := int(s.Width / s.Slide)
+	latestStart := t - (t % simtime.Time(s.Slide))
+	out := make([]Window, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		start := latestStart - simtime.Time(i)*simtime.Time(s.Slide)
+		if start < 0 {
+			continue
+		}
+		out = append(out, Window{Start: start, End: start + simtime.Time(s.Width)})
+	}
+	return out
+}
+
+// SlidingAgg accumulates keyed aggregates per sliding window.
+type SlidingAgg struct {
+	Windows SlidingWindows
+	Kind    AggKind
+	open    map[simtime.Time]*KeyedAgg
+}
+
+// NewSlidingAgg returns an empty sliding-window aggregator.
+func NewSlidingAgg(w SlidingWindows, kind AggKind) *SlidingAgg {
+	return &SlidingAgg{Windows: w, Kind: kind, open: make(map[simtime.Time]*KeyedAgg)}
+}
+
+// Add folds an event into every window containing it.
+func (a *SlidingAgg) Add(e Event) {
+	for _, w := range a.Windows.WindowsFor(e.Time) {
+		agg := a.open[w.Start]
+		if agg == nil {
+			agg = NewKeyedAgg(a.Kind)
+			a.open[w.Start] = agg
+		}
+		agg.Add(e)
+	}
+}
+
+// Open returns the number of windows not yet closed.
+func (a *SlidingAgg) Open() int { return len(a.open) }
+
+// Advance closes every window ending at or before the watermark, ordered by
+// start time.
+func (a *SlidingAgg) Advance(watermark simtime.Time) []Closed {
+	var starts []simtime.Time
+	for start := range a.open {
+		if start+simtime.Time(a.Windows.Width) <= watermark {
+			starts = append(starts, start)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	out := make([]Closed, 0, len(starts))
+	for _, s := range starts {
+		out = append(out, Closed{
+			Window: Window{Start: s, End: s + simtime.Time(a.Windows.Width)},
+			Agg:    a.open[s],
+		})
+		delete(a.open, s)
+	}
+	return out
+}
+
+// JoinedPair is one output of a windowed join: the left and right values
+// observed for the same key in the same window.
+type JoinedPair struct {
+	Key         string
+	Window      Window
+	Left, Right float64
+}
+
+// WindowJoin performs a per-window, per-key equi-join between two streams:
+// within each tumbling window, keys present on both sides emit one pair of
+// aggregate values. Both sides use the same aggregation kind, so the join is
+// a deterministic function of the two windowed partials — which means it can
+// run at the sink on merged partials, exactly like the other aggregates.
+type WindowJoin struct {
+	Width time.Duration
+	Kind  AggKind
+	left  *WindowAgg
+	right *WindowAgg
+}
+
+// NewWindowJoin builds a join over tumbling windows of the given width.
+func NewWindowJoin(width time.Duration, kind AggKind) *WindowJoin {
+	return &WindowJoin{
+		Width: width, Kind: kind,
+		left:  NewWindowAgg(width, kind),
+		right: NewWindowAgg(width, kind),
+	}
+}
+
+// AddLeft folds an event into the left stream.
+func (j *WindowJoin) AddLeft(e Event) { j.left.Add(e) }
+
+// AddRight folds an event into the right stream.
+func (j *WindowJoin) AddRight(e Event) { j.right.Add(e) }
+
+// Advance closes windows up to the watermark on both sides and emits the
+// joined pairs, ordered by (window start, key).
+func (j *WindowJoin) Advance(watermark simtime.Time) []JoinedPair {
+	ls := j.left.Advance(watermark)
+	rs := j.right.Advance(watermark)
+	rightByStart := make(map[simtime.Time]*KeyedAgg, len(rs))
+	for _, c := range rs {
+		rightByStart[c.Window.Start] = c.Agg
+	}
+	var out []JoinedPair
+	for _, lc := range ls {
+		ragg := rightByStart[lc.Window.Start]
+		if ragg == nil {
+			continue
+		}
+		for _, kv := range lc.Agg.Result() {
+			if rv, ok := ragg.Value(kv.Key); ok {
+				out = append(out, JoinedPair{
+					Key: kv.Key, Window: lc.Window,
+					Left: kv.Value, Right: rv,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// EWMA is an exponentially weighted moving average operator over a stream's
+// values, one average per key — the streaming smoother applications put in
+// front of alerting.
+type EWMA struct {
+	// Alpha is the smoothing factor in (0, 1]; higher tracks faster.
+	Alpha float64
+	vals  map[string]float64
+}
+
+// NewEWMA validates alpha and returns an empty smoother.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("stream: EWMA alpha must be in (0,1]")
+	}
+	return &EWMA{Alpha: alpha, vals: make(map[string]float64)}
+}
+
+// Add folds one event and returns the key's updated average.
+func (e *EWMA) Add(ev Event) float64 {
+	v, ok := e.vals[ev.Key]
+	if !ok {
+		e.vals[ev.Key] = ev.Value
+		return ev.Value
+	}
+	v = e.Alpha*ev.Value + (1-e.Alpha)*v
+	e.vals[ev.Key] = v
+	return v
+}
+
+// Value returns the current average for a key.
+func (e *EWMA) Value(key string) (float64, bool) {
+	v, ok := e.vals[key]
+	return v, ok
+}

@@ -1,0 +1,274 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sage/internal/simtime"
+)
+
+func TestSlidingWindowsFor(t *testing.T) {
+	w := NewSlidingWindows(30*time.Second, 10*time.Second)
+	got := w.WindowsFor(35 * time.Second)
+	if len(got) != 3 {
+		t.Fatalf("windows = %v, want 3", got)
+	}
+	wantStarts := []simtime.Time{10 * time.Second, 20 * time.Second, 30 * time.Second}
+	for i, win := range got {
+		if win.Start != wantStarts[i] {
+			t.Fatalf("window %d start = %v, want %v", i, win.Start, wantStarts[i])
+		}
+		if !win.Contains(35 * time.Second) {
+			t.Fatalf("window %v does not contain the event", win)
+		}
+	}
+}
+
+func TestSlidingWindowsEarlyEvents(t *testing.T) {
+	w := NewSlidingWindows(30*time.Second, 10*time.Second)
+	got := w.WindowsFor(5 * time.Second)
+	// Only the window starting at 0 exists this early.
+	if len(got) != 1 || got[0].Start != 0 {
+		t.Fatalf("early windows = %v", got)
+	}
+}
+
+func TestSlidingWindowsValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero width":     func() { NewSlidingWindows(0, time.Second) },
+		"zero slide":     func() { NewSlidingWindows(time.Second, 0) },
+		"not a multiple": func() { NewSlidingWindows(25*time.Second, 10*time.Second) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSlidingAggCountsOverlap(t *testing.T) {
+	a := NewSlidingAgg(NewSlidingWindows(20*time.Second, 10*time.Second), Count)
+	a.Add(ev("k", 1, 15*time.Second)) // windows [0,20) and [10,30)
+	closed := a.Advance(simtime.Time(time.Hour))
+	if len(closed) != 2 {
+		t.Fatalf("closed %d windows, want 2", len(closed))
+	}
+	for _, c := range closed {
+		if v, _ := c.Agg.Value("k"); v != 1 {
+			t.Fatalf("window %v count = %v", c.Window, v)
+		}
+	}
+}
+
+func TestSlidingAggAdvanceOrder(t *testing.T) {
+	a := NewSlidingAgg(NewSlidingWindows(20*time.Second, 10*time.Second), Sum)
+	for i := 0; i < 6; i++ {
+		a.Add(ev("k", 1, simtime.Time(i*10+5)*time.Second))
+	}
+	closed := a.Advance(40 * time.Second)
+	for i := 1; i < len(closed); i++ {
+		if closed[i].Window.Start <= closed[i-1].Window.Start {
+			t.Fatal("closed windows out of order")
+		}
+	}
+	if a.Open() == 0 {
+		t.Fatal("later windows should remain open")
+	}
+}
+
+// Property: tumbling aggregation equals sliding aggregation with
+// slide == width.
+func TestPropertySlidingDegeneratesToTumbling(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		width := 10 * time.Second
+		tumble := NewWindowAgg(width, Sum)
+		slide := NewSlidingAgg(NewSlidingWindows(width, width), Sum)
+		for i, o := range offsets {
+			e := ev(fmt.Sprintf("k%d", i%3), float64(i), simtime.Time(o)*time.Millisecond)
+			tumble.Add(e)
+			slide.Add(e)
+		}
+		a := tumble.Advance(simtime.Time(time.Hour))
+		b := slide.Advance(simtime.Time(time.Hour))
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].Window != b[i].Window {
+				return false
+			}
+			ra, rb := a[i].Agg.Result(), b[i].Agg.Result()
+			if len(ra) != len(rb) {
+				return false
+			}
+			for j := range ra {
+				if ra[j] != rb[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowJoin(t *testing.T) {
+	j := NewWindowJoin(10*time.Second, Sum)
+	j.AddLeft(ev("a", 1, 2*time.Second))
+	j.AddLeft(ev("a", 2, 3*time.Second))
+	j.AddLeft(ev("b", 5, 4*time.Second))
+	j.AddRight(ev("a", 10, 5*time.Second))
+	j.AddRight(ev("c", 7, 6*time.Second))
+	// Next window: both sides have "b".
+	j.AddLeft(ev("b", 1, 12*time.Second))
+	j.AddRight(ev("b", 2, 13*time.Second))
+	pairs := j.Advance(20 * time.Second)
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v, want 2", pairs)
+	}
+	if pairs[0].Key != "a" || pairs[0].Left != 3 || pairs[0].Right != 10 {
+		t.Fatalf("pair 0 = %+v", pairs[0])
+	}
+	if pairs[1].Key != "b" || pairs[1].Window.Start != 10*time.Second {
+		t.Fatalf("pair 1 = %+v", pairs[1])
+	}
+}
+
+func TestWindowJoinNoMatchingWindow(t *testing.T) {
+	j := NewWindowJoin(10*time.Second, Sum)
+	j.AddLeft(ev("a", 1, 2*time.Second))
+	// Right side empty: no pairs, no panic.
+	if pairs := j.Advance(simtime.Time(time.Hour)); len(pairs) != 0 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if got := e.Add(ev("k", 10, 0)); got != 10 {
+		t.Fatalf("first value = %v", got)
+	}
+	if got := e.Add(ev("k", 20, 0)); got != 15 {
+		t.Fatalf("smoothed = %v, want 15", got)
+	}
+	if v, ok := e.Value("k"); !ok || v != 15 {
+		t.Fatalf("Value = %v,%v", v, ok)
+	}
+	if _, ok := e.Value("absent"); ok {
+		t.Fatal("absent key should be !ok")
+	}
+}
+
+func TestEWMAInvalidAlphaPanics(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 1.5} {
+		alpha := alpha
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("alpha %v should panic", alpha)
+				}
+			}()
+			NewEWMA(alpha)
+		}()
+	}
+}
+
+func TestDistinctEstimate(t *testing.T) {
+	d := NewDistinct(11)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d.Add(fmt.Sprintf("key-%d", i))
+	}
+	est := d.Estimate()
+	if math.Abs(est-n)/n > 0.05 {
+		t.Fatalf("estimate = %.0f, want ~%d (±5%%)", est, n)
+	}
+}
+
+func TestDistinctDuplicatesDoNotInflate(t *testing.T) {
+	d := NewDistinct(11)
+	for i := 0; i < 10000; i++ {
+		d.Add(fmt.Sprintf("key-%d", i%100))
+	}
+	est := d.Estimate()
+	if est < 80 || est > 120 {
+		t.Fatalf("estimate = %.0f, want ~100", est)
+	}
+}
+
+func TestDistinctSmallRange(t *testing.T) {
+	d := NewDistinct(11)
+	for i := 0; i < 5; i++ {
+		d.Add(fmt.Sprintf("k%d", i))
+	}
+	est := d.Estimate()
+	if est < 4 || est > 6 {
+		t.Fatalf("small-range estimate = %.2f, want ~5", est)
+	}
+}
+
+func TestDistinctMergeMatchesUnion(t *testing.T) {
+	a, b, union := NewDistinct(11), NewDistinct(11), NewDistinct(11)
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		union.Add(k)
+		if i%2 == 0 {
+			a.Add(k)
+		} else {
+			b.Add(k)
+		}
+		if i%10 == 0 { // overlap
+			a.Add(k)
+			b.Add(k)
+		}
+	}
+	a.Merge(b)
+	if a.Estimate() != union.Estimate() {
+		t.Fatalf("merged estimate %v != union estimate %v", a.Estimate(), union.Estimate())
+	}
+}
+
+func TestDistinctValidation(t *testing.T) {
+	for _, p := range []uint8{3, 17} {
+		p := p
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("p=%d should panic", p)
+				}
+			}()
+			NewDistinct(p)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("precision mismatch merge should panic")
+		}
+	}()
+	NewDistinct(11).Merge(NewDistinct(12))
+}
+
+func TestDistinctMergeNilNoop(t *testing.T) {
+	d := NewDistinct(11)
+	d.Add("x")
+	before := d.Estimate()
+	d.Merge(nil)
+	if d.Estimate() != before {
+		t.Fatal("nil merge changed estimate")
+	}
+}
+
+func TestDistinctSerializedBytes(t *testing.T) {
+	if NewDistinct(11).SerializedBytes() != 2048 {
+		t.Fatal("2^11 registers should serialize to 2048 bytes")
+	}
+}

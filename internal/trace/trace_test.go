@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func ev(at time.Duration, kind Kind) Event {
+	return Event{At: at, Kind: kind, Site: "NEU", Bytes: 100, Value: 1.5}
+}
+
+func TestRecordAndEvents(t *testing.T) {
+	r := New(10)
+	r.Record(ev(1*time.Second, TransferStart))
+	r.Record(ev(2*time.Second, TransferDone))
+	events := r.Events()
+	if len(events) != 2 || events[0].Kind != TransferStart || events[1].Kind != TransferDone {
+		t.Fatalf("events = %v", events)
+	}
+	if r.Dropped() != 0 {
+		t.Fatal("nothing should be dropped yet")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := New(3)
+	for i := 1; i <= 5; i++ {
+		r.Record(ev(time.Duration(i)*time.Second, ChunkAck))
+	}
+	events := r.Events()
+	if len(events) != 3 {
+		t.Fatalf("len = %d", len(events))
+	}
+	if events[0].At != 3*time.Second || events[2].At != 5*time.Second {
+		t.Fatalf("wrong retention order: %v", events)
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("dropped = %d", r.Dropped())
+	}
+}
+
+func TestDisabledRecorderIsNoop(t *testing.T) {
+	r := New(4)
+	r.SetEnabled(false)
+	r.Record(ev(time.Second, Replan))
+	r.Recordf(time.Second, Replan, "A", "B", 1, 1, "x")
+	if r.Len() != 0 {
+		t.Fatal("disabled recorder stored events")
+	}
+	r.SetEnabled(true)
+	r.Record(ev(time.Second, Replan))
+	if r.Len() != 1 {
+		t.Fatal("re-enabled recorder should store")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := New(10)
+	r.Record(ev(1*time.Second, ChunkAck))
+	r.Record(ev(2*time.Second, Replan))
+	r.Record(ev(3*time.Second, ChunkAck))
+	acks := r.Filter(ChunkAck)
+	if len(acks) != 2 {
+		t.Fatalf("acks = %d", len(acks))
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	r := New(10)
+	r.Recordf(time.Second, TransferStart, "NEU", "NUS", 1<<20, 0, "strategy=%s", "EnvAware")
+	r.Record(ev(2*time.Second, TransferDone))
+	var b strings.Builder
+	if err := r.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(b.String(), "\n")
+	if lines != 2 {
+		t.Fatalf("JSONL lines = %d", lines)
+	}
+	back, err := ReadJSONL(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Note != "strategy=EnvAware" || back[0].Peer != "NUS" {
+		t.Fatalf("round trip = %+v", back)
+	}
+}
+
+func TestReadJSONLBadInput(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := New(10)
+	r.Record(Event{At: 1, Kind: ChunkAck, Bytes: 10, Value: 2})
+	r.Record(Event{At: 2, Kind: ChunkAck, Bytes: 30, Value: 4})
+	r.Record(Event{At: 3, Kind: Replan})
+	sum := r.Summary()
+	if len(sum) != 2 {
+		t.Fatalf("summary = %v", sum)
+	}
+	// Sorted by kind: chunk_ack < replan.
+	if sum[0].Kind != ChunkAck || sum[0].Count != 2 || sum[0].Bytes != 40 || sum[0].MeanValue != 3 {
+		t.Fatalf("chunk summary = %+v", sum[0])
+	}
+	if !strings.Contains(r.String(), "chunk_ack") {
+		t.Fatal("String missing kinds")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,254 @@
+// Package transfer implements SAGE's data-movement service: it executes
+// wide-area transfers between site deployments by splitting data into
+// acknowledged, hashed chunks and streaming them over one or more worker
+// lanes — node chains that may pass through intermediate datacenters.
+//
+// A transfer is driven by a strategy:
+//
+//   - Direct: one flow, source node to destination node (the
+//     endpoint-to-endpoint baseline).
+//   - ParallelStatic: n source/destination node pairs fed round-robin, no
+//     environment awareness (the statically tuned "GridFTP-like" baseline).
+//   - EnvAware: n pairs with throughput-aware dispatch, per-lane health
+//     tracking and chunk retransmission.
+//   - WidestStatic / WidestDynamic: lanes follow the widest inter-site path
+//     from the monitor's graph, planned once or replanned periodically.
+//   - MultipathStatic / MultipathDynamic: the full multi-datacenter
+//     allocation from route.PlanMultipath, spreading lanes across
+//     alternative paths.
+//
+// Chunks carry metadata (transfer id, index, content hash). Receivers
+// deduplicate on hash, so retransmissions after timeouts never double-count;
+// acknowledgements flow back to the coordinator which marks completion.
+// This application-level confirmation is what lets a transfer survive the
+// failure of intermediate nodes.
+package transfer
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"sage/internal/netsim"
+	"sage/internal/simtime"
+)
+
+// chunk is one unit of transfer with its recomposition metadata.
+type chunk struct {
+	transferID uint64
+	index      int
+	size       int64
+	hash       uint64
+	// attempts counts dispatches, for retransmit accounting.
+	attempts int
+}
+
+// chunkHash derives the synthetic content hash for a chunk. Real SAGE hashes
+// payload bytes; the simulator has no payloads, so the hash is derived from
+// identity, which preserves the property the system relies on: identical
+// chunks collide, distinct chunks do not.
+func chunkHash(transferID uint64, index int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%d", transferID, index)
+	return h.Sum64()
+}
+
+// splitChunks cuts size bytes into chunks of at most chunkSize.
+func splitChunks(transferID uint64, size, chunkSize int64) []*chunk {
+	if chunkSize <= 0 {
+		panic("transfer: chunk size must be positive")
+	}
+	n := int((size + chunkSize - 1) / chunkSize)
+	out := make([]*chunk, 0, n)
+	for i := 0; i < n; i++ {
+		sz := chunkSize
+		if rem := size - int64(i)*chunkSize; rem < sz {
+			sz = rem
+		}
+		out = append(out, &chunk{
+			transferID: transferID,
+			index:      i,
+			size:       sz,
+			hash:       chunkHash(transferID, i),
+		})
+	}
+	return out
+}
+
+// lane is a chain of nodes carrying chunks from the source site to the
+// destination site, possibly through intermediate datacenters. Each hop is a
+// store-and-forward stage with its own one-chunk-deep pipeline, so hop i of
+// chunk k+1 overlaps hop i+1 of chunk k.
+type lane struct {
+	id    int
+	nodes []*netsim.Node
+	// hop state: queue of chunks awaiting hop i, and the in-flight flow.
+	queues  [][]*chunk
+	inUse   []bool
+	flows   []*netsim.Flow
+	dead    bool
+	drain   bool
+	ewmaMBs float64 // end-to-end chunk throughput estimate
+	t       *transferRun
+}
+
+func newLane(id int, nodes []*netsim.Node, t *transferRun) *lane {
+	if len(nodes) < 2 {
+		panic("transfer: lane needs at least two nodes")
+	}
+	return &lane{
+		id:     id,
+		nodes:  nodes,
+		queues: make([][]*chunk, len(nodes)-1),
+		inUse:  make([]bool, len(nodes)-1),
+		flows:  make([]*netsim.Flow, len(nodes)-1),
+		t:      t,
+	}
+}
+
+// hops returns the number of flow stages.
+func (l *lane) hops() int { return len(l.nodes) - 1 }
+
+// free reports whether the lane can start a new chunk now: its first hop is
+// idle and nothing waits for it. Without the inUse check a lane with a chunk
+// in flight would keep accepting work while sibling lanes idle.
+func (l *lane) free() bool {
+	return !l.dead && !l.drain && !l.inUse[0] && len(l.queues[0]) == 0
+}
+
+// busy reports whether any hop has queued or in-flight work.
+func (l *lane) busy() bool {
+	for i := range l.queues {
+		if l.inUse[i] || len(l.queues[i]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// healthy reports whether every node on the lane is up.
+func (l *lane) healthy() bool {
+	if l.dead {
+		return false
+	}
+	for _, n := range l.nodes {
+		if n.Failed() {
+			return false
+		}
+	}
+	return true
+}
+
+// accept enqueues a chunk at the first hop and pumps the pipeline.
+func (l *lane) accept(c *chunk) {
+	l.queues[0] = append(l.queues[0], c)
+	l.pump(0)
+}
+
+// pump starts the next flow at hop i if the stage is idle and work waits.
+func (l *lane) pump(i int) {
+	if l.dead || l.inUse[i] || len(l.queues[i]) == 0 {
+		return
+	}
+	c := l.queues[i][0]
+	l.queues[i] = l.queues[i][1:]
+	l.inUse[i] = true
+	src, dst := l.nodes[i], l.nodes[i+1]
+	t := l.t
+	cap := 0.0
+	if t.req.Intr > 0 {
+		cap = t.req.Intr * src.Class.NICMBps
+	}
+	if t.req.MaxMBps > 0 {
+		// Split the aggregate QoS cap across lanes.
+		lanes := len(t.lanes)
+		if lanes < 1 {
+			lanes = 1
+		}
+		perLane := t.req.MaxMBps / float64(lanes)
+		if cap == 0 || perLane < cap {
+			cap = perLane
+		}
+	}
+	started := t.m.sched.Now()
+	var watchdog *simtime.Event
+	fl := t.m.net.StartFlow(src, dst, c.size, netsim.FlowOpts{CapMBps: cap}, func(f *netsim.Flow) {
+		t.m.sched.Cancel(watchdog)
+		l.inUse[i] = false
+		l.flows[i] = nil
+		if f.Err() != nil {
+			// Node failure or cancellation: hand the chunk back for
+			// retransmission through another lane.
+			t.requeue(c, l)
+		} else {
+			dur := (t.m.sched.Now() - started).Seconds()
+			if src.Site != dst.Site {
+				if dur > 0 {
+					t.m.observe(src.Site, dst.Site, float64(c.size)/1e6/dur)
+				}
+				t.recordEgress(src.Site, c.size)
+			}
+			t.stats.HopFlows++
+			if i+1 < len(l.queues) {
+				l.queues[i+1] = append(l.queues[i+1], c)
+				l.pump(i + 1)
+			} else {
+				l.deliver(c, started)
+			}
+		}
+		if !t.finished {
+			l.pump(i)
+			if i == 0 {
+				t.fill()
+			}
+		}
+	})
+	l.flows[i] = fl
+	// Watchdog: a flow stalled far beyond its worst-case expectation (a
+	// failed or collapsed node) is cancelled and its chunk requeued.
+	watchdog = t.m.sched.After(t.timeoutFor(c), func() {
+		if !fl.Finished() {
+			t.stats.Timeouts++
+			t.m.net.CancelFlow(fl)
+		}
+	})
+}
+
+// deliver runs destination-side processing: the acknowledgement travels back
+// to the coordinator (half an RTT), the receiver deduplicates on hash, and
+// the transfer completes when every chunk has been acknowledged once.
+func (l *lane) deliver(c *chunk, started simtime.Time) {
+	t := l.t
+	dur := (t.m.sched.Now() - started).Seconds()
+	if dur > 0 {
+		// EWMA of end-to-end chunk throughput, the lane health signal.
+		mbps := float64(c.size) / 1e6 / dur
+		if l.ewmaMBs == 0 {
+			l.ewmaMBs = mbps
+		} else {
+			l.ewmaMBs = 0.7*l.ewmaMBs + 0.3*mbps
+		}
+	}
+	rtt, _ := t.m.net.Topology().RTT(t.req.From, t.req.To)
+	t.m.sched.After(rtt/2, func() { t.acked(c) })
+}
+
+// abort kills all in-flight flows of the lane and marks it dead; queued
+// chunks return to the dispatcher.
+func (l *lane) abort() {
+	if l.dead {
+		return
+	}
+	l.dead = true
+	for i, f := range l.flows {
+		if f != nil && !f.Finished() {
+			l.t.m.net.CancelFlow(f)
+		}
+		l.flows[i] = nil
+	}
+	for i := range l.queues {
+		for _, c := range l.queues[i] {
+			l.t.requeue(c, nil)
+		}
+		l.queues[i] = nil
+	}
+}

@@ -1,0 +1,165 @@
+package transfer
+
+import (
+	"testing"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/model"
+	"sage/internal/monitor"
+	"sage/internal/netsim"
+	"sage/internal/rng"
+	"sage/internal/simtime"
+)
+
+// dissemRig builds a star-with-relay topology on the default Azure map where
+// tree dissemination should shine: NEU to all four US sites.
+func dissemRig(t *testing.T) *rig {
+	t.Helper()
+	sched := simtime.New()
+	topo := cloud.DefaultAzure()
+	net := netsim.New(sched, topo, rng.New(1), netsim.Options{GlitchMeanGap: -1, ProbeNoise: 1e-9})
+	mon := monitor.NewService(net, monitor.Options{Interval: 15 * time.Second})
+	mon.Start()
+	mgr := NewManager(net, mon, Options{
+		ChunkBytes: 8 << 20,
+		Params:     model.Default(),
+	})
+	for _, id := range topo.SiteIDs() {
+		mgr.Deploy(id, cloud.Medium, 10)
+	}
+	return &rig{sched: sched, net: net, mon: mon, mgr: mgr}
+}
+
+func usDests() []cloud.SiteID {
+	return []cloud.SiteID{cloud.NorthUS, cloud.SouthUS, cloud.EastUS, cloud.WestUS}
+}
+
+func runDissem(t *testing.T, r *rig, req DisseminateRequest) DisseminateResult {
+	t.Helper()
+	var res *DisseminateResult
+	if err := r.mgr.Disseminate(req, func(x DisseminateResult) { res = &x }); err != nil {
+		t.Fatalf("Disseminate: %v", err)
+	}
+	r.sched.RunFor(12 * time.Hour)
+	if res == nil {
+		t.Fatal("dissemination did not complete")
+	}
+	return *res
+}
+
+func TestDisseminateUnicastDeliversAll(t *testing.T) {
+	r := dissemRig(t)
+	res := runDissem(t, r, DisseminateRequest{
+		From: cloud.NorthEU, Dests: usDests(), Size: 64 << 20, Intr: 1,
+	})
+	if len(res.Dests) != 4 {
+		t.Fatalf("delivered to %d dests, want 4", len(res.Dests))
+	}
+	if res.WANBytes != 4*64<<20 {
+		t.Fatalf("unicast WAN bytes = %d, want 4 copies", res.WANBytes)
+	}
+	if res.TreeUsed != "" {
+		t.Fatal("unicast should not report a tree")
+	}
+}
+
+func TestDisseminateTreeDeliversAll(t *testing.T) {
+	r := dissemRig(t)
+	r.sched.RunFor(time.Minute)
+	res := runDissem(t, r, DisseminateRequest{
+		From: cloud.NorthEU, Dests: usDests(), Size: 64 << 20, Tree: true, Intr: 1,
+	})
+	if len(res.Dests) != 4 {
+		t.Fatalf("delivered to %d dests, want 4", len(res.Dests))
+	}
+	for _, d := range res.Dests {
+		if d.Duration <= 0 || d.Duration > res.Makespan {
+			t.Fatalf("dest %s duration %v vs makespan %v", d.Dest, d.Duration, res.Makespan)
+		}
+	}
+	if res.TreeUsed == "" {
+		t.Fatal("tree run should report its tree")
+	}
+}
+
+func TestTreeSavesWANBytesAndTime(t *testing.T) {
+	size := int64(256 << 20)
+	r1 := dissemRig(t)
+	r1.sched.RunFor(time.Minute)
+	uni := runDissem(t, r1, DisseminateRequest{
+		From: cloud.NorthEU, Dests: usDests(), Size: size, Intr: 1,
+	})
+	r2 := dissemRig(t)
+	r2.sched.RunFor(time.Minute)
+	tree := runDissem(t, r2, DisseminateRequest{
+		From: cloud.NorthEU, Dests: usDests(), Size: size, Tree: true, Intr: 1,
+	})
+	// The tree crosses the Atlantic once; unicast pays it four times.
+	if tree.SrcEgressBytes >= uni.SrcEgressBytes {
+		t.Fatalf("tree source egress %d should undercut unicast %d",
+			tree.SrcEgressBytes, uni.SrcEgressBytes)
+	}
+	if tree.SrcEgressBytes != size {
+		t.Fatalf("tree source egress %d, want exactly one copy %d", tree.SrcEgressBytes, size)
+	}
+	if tree.Makespan >= uni.Makespan {
+		t.Fatalf("tree makespan %v should beat unicast %v (shared transatlantic hop)",
+			tree.Makespan, uni.Makespan)
+	}
+}
+
+func TestDisseminateTreeSurvivesWorkerFailure(t *testing.T) {
+	r := dissemRig(t)
+	r.sched.RunFor(time.Minute)
+	var res *DisseminateResult
+	err := r.mgr.Disseminate(DisseminateRequest{
+		From: cloud.NorthEU, Dests: usDests(), Size: 128 << 20, Tree: true,
+		Intr: 1, LanesPerEdge: 2,
+	}, func(x DisseminateResult) { res = &x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.sched.After(5*time.Second, func() {
+		// Kill one NEU worker mid-flight; its chunk must be retried.
+		r.net.KillNode(r.mgr.Pool(cloud.NorthEU)[0])
+	})
+	r.sched.RunFor(24 * time.Hour)
+	if res == nil {
+		t.Fatal("dissemination did not survive worker failure")
+	}
+	if len(res.Dests) != 4 {
+		t.Fatalf("delivered to %d dests", len(res.Dests))
+	}
+}
+
+func TestDisseminateValidation(t *testing.T) {
+	r := dissemRig(t)
+	cases := []DisseminateRequest{
+		{From: cloud.NorthEU, Dests: usDests(), Size: 0},
+		{From: cloud.NorthEU, Size: 1},
+		{From: "XX", Dests: usDests(), Size: 1},
+		{From: cloud.NorthEU, Dests: []cloud.SiteID{"XX"}, Size: 1},
+		{From: cloud.NorthEU, Dests: []cloud.SiteID{cloud.NorthEU}, Size: 1},
+		{From: cloud.NorthEU, Dests: []cloud.SiteID{cloud.NorthUS, cloud.NorthUS}, Size: 1},
+	}
+	for i, req := range cases {
+		if err := r.mgr.Disseminate(req, nil); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestDisseminateDeterministic(t *testing.T) {
+	run := func() time.Duration {
+		r := dissemRig(t)
+		r.sched.RunFor(time.Minute)
+		res := runDissem(t, r, DisseminateRequest{
+			From: cloud.NorthEU, Dests: usDests(), Size: 96 << 20, Tree: true, Intr: 1,
+		})
+		return res.Makespan
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic makespan: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,642 @@
+package transfer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/model"
+	"sage/internal/monitor"
+	"sage/internal/netsim"
+	"sage/internal/route"
+	"sage/internal/simtime"
+	"sage/internal/trace"
+)
+
+// Strategy selects how a transfer is planned and executed.
+type Strategy int
+
+// The transfer strategies, from least to most environment-aware.
+const (
+	// Direct uses a single flow between one source and one destination
+	// node.
+	Direct Strategy = iota
+	// ParallelStatic uses Lanes node pairs fed round-robin with no
+	// awareness of the environment.
+	ParallelStatic
+	// EnvAware uses Lanes node pairs with health-aware dispatch: chunks
+	// avoid degraded or failed nodes.
+	EnvAware
+	// WidestStatic routes lanes along the widest inter-site path computed
+	// once at transfer start.
+	WidestStatic
+	// WidestDynamic recomputes the widest path every ReplanInterval.
+	WidestDynamic
+	// MultipathStatic spreads lanes across alternative multi-datacenter
+	// paths, planned once.
+	MultipathStatic
+	// MultipathDynamic replans the multipath allocation every
+	// ReplanInterval — the full SAGE strategy.
+	MultipathDynamic
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Direct:
+		return "Direct"
+	case ParallelStatic:
+		return "ParallelStatic"
+	case EnvAware:
+		return "EnvAware"
+	case WidestStatic:
+		return "WidestStatic"
+	case WidestDynamic:
+		return "WidestDynamic"
+	case MultipathStatic:
+		return "MultipathStatic"
+	case MultipathDynamic:
+		return "MultipathDynamic"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Dynamic reports whether the strategy replans during the transfer.
+func (s Strategy) Dynamic() bool { return s == WidestDynamic || s == MultipathDynamic }
+
+// Request describes one transfer.
+type Request struct {
+	From, To cloud.SiteID
+	// Size is the payload in bytes.
+	Size int64
+	// Strategy selects the planner/executor.
+	Strategy Strategy
+	// Lanes is the number of parallel worker lanes for the non-multipath
+	// strategies (default 1).
+	Lanes int
+	// NodeBudget caps total VMs for the multipath strategies (default 8).
+	NodeBudget int
+	// MaxPaths bounds multipath alternatives (default 3).
+	MaxPaths int
+	// Intr is the intrusiveness: fraction of each VM's NIC the transfer
+	// may use (default from Manager options).
+	Intr float64
+	// ChunkBytes overrides the manager's chunk size for this request
+	// (0 = manager default). File-oriented workloads set it to the file
+	// size so each file is one acknowledged unit.
+	ChunkBytes int64
+	// MaxMBps caps the transfer's aggregate rate (0 = uncapped): the QoS
+	// knob for transfers that must not starve the application's own
+	// traffic beyond the per-VM intrusiveness limit.
+	MaxMBps float64
+}
+
+// Result reports a finished transfer.
+type Result struct {
+	Strategy Strategy
+	From, To cloud.SiteID
+	Bytes    int64
+	Duration time.Duration
+	// MBps is the achieved end-to-end goodput.
+	MBps float64
+	// Cost is the modeled monetary cost actually incurred: leased VM time
+	// at the configured intrusiveness plus egress for every WAN hop
+	// traversed.
+	Cost float64
+	// NodesUsed is the number of distinct VMs that carried chunks.
+	NodesUsed int
+	// Chunks is the number of data chunks; HopFlows counts individual
+	// hop-level flows (>= Chunks for multi-hop paths).
+	Chunks, HopFlows int
+	// Acks, Duplicates, Retransmits, Timeouts, Replans are reliability
+	// counters.
+	Acks, Duplicates, Retransmits, Timeouts, Replans int
+}
+
+// Options configures a Manager.
+type Options struct {
+	// ChunkBytes is the chunk size (default 32 MB).
+	ChunkBytes int64
+	// ReplanInterval drives the dynamic strategies (default 60s).
+	ReplanInterval time.Duration
+	// DefaultIntr is the intrusiveness applied when a request leaves Intr
+	// zero (default 0.10).
+	DefaultIntr float64
+	// Params is the cost/time model calibration (default model.Default).
+	Params model.Params
+	// Trace, when non-nil, records transfer lifecycle events.
+	Trace *trace.Recorder
+}
+
+func (o Options) withDefaults() Options {
+	if o.ChunkBytes <= 0 {
+		o.ChunkBytes = 32 << 20
+	}
+	if o.ReplanInterval <= 0 {
+		o.ReplanInterval = time.Minute
+	}
+	if o.DefaultIntr <= 0 {
+		o.DefaultIntr = 0.10
+	}
+	if o.Params.Class.Name == "" {
+		o.Params = model.Default()
+	}
+	return o
+}
+
+// Manager owns the per-site worker pools and executes transfer requests.
+type Manager struct {
+	net   *netsim.Network
+	mon   *monitor.Service
+	sched *simtime.Scheduler
+	opt   Options
+
+	pools    map[cloud.SiteID][]*netsim.Node
+	poolNext map[cloud.SiteID]int
+	nextID   uint64
+}
+
+// NewManager builds a Manager. mon may be nil, in which case planning falls
+// back to the topology's nominal link baselines and no transfer feedback is
+// recorded.
+func NewManager(net *netsim.Network, mon *monitor.Service, opt Options) *Manager {
+	return &Manager{
+		net:   net,
+		mon:   mon,
+		sched: net.Scheduler(),
+		opt:   opt.withDefaults(),
+		pools: make(map[cloud.SiteID][]*netsim.Node),
+
+		poolNext: make(map[cloud.SiteID]int),
+	}
+}
+
+// Deploy provisions count VMs of the class in a site's worker pool.
+func (m *Manager) Deploy(site cloud.SiteID, class cloud.VMClass, count int) []*netsim.Node {
+	nodes := m.net.NewNodes(site, class, count)
+	m.pools[site] = append(m.pools[site], nodes...)
+	return nodes
+}
+
+// Pool returns the worker pool of a site.
+func (m *Manager) Pool(site cloud.SiteID) []*netsim.Node { return m.pools[site] }
+
+// take returns the next healthy pool node of a site round-robin, falling
+// back to a failed node only when the whole pool is down (the transfer then
+// stalls until RestoreNode, which is the correct behaviour for a total
+// outage).
+func (m *Manager) take(site cloud.SiteID) (*netsim.Node, error) {
+	pool := m.pools[site]
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("transfer: no deployment in site %s", site)
+	}
+	for attempts := 0; attempts < len(pool); attempts++ {
+		i := m.poolNext[site] % len(pool)
+		m.poolNext[site] = i + 1
+		if !pool[i].Failed() {
+			return pool[i], nil
+		}
+	}
+	i := m.poolNext[site] % len(pool)
+	m.poolNext[site] = i + 1
+	return pool[i], nil
+}
+
+// estimate returns the planning throughput for a directed link: the
+// monitor's estimate when it has data, otherwise the topology baseline.
+func (m *Manager) estimate(from, to cloud.SiteID) float64 {
+	if from == to {
+		return m.net.Topology().IntraMBps
+	}
+	if m.mon != nil {
+		if mean, _ := m.mon.Estimate(from, to); mean > 0 {
+			return mean
+		}
+	}
+	if l := m.net.Topology().Link(from, to); l != nil {
+		return l.BaseMBps
+	}
+	return 0
+}
+
+// graph builds the routing graph from current estimates.
+func (m *Manager) graph() *route.Graph {
+	return route.GraphFromEstimates(m.net.Topology().SiteIDs(), m.estimate)
+}
+
+func (m *Manager) observe(from, to cloud.SiteID, mbps float64) {
+	if m.mon != nil {
+		m.mon.ObserveTransfer(from, to, mbps)
+	}
+}
+
+// emit records a trace event when tracing is configured.
+func (m *Manager) emit(kind trace.Kind, from, to cloud.SiteID, bytes int64, value float64, note string) {
+	if m.opt.Trace == nil {
+		return
+	}
+	m.opt.Trace.Record(trace.Event{
+		At: m.sched.Now(), Kind: kind,
+		Site: string(from), Peer: string(to),
+		Bytes: bytes, Value: value, Note: note,
+	})
+}
+
+// Handle tracks an in-progress transfer.
+type Handle struct{ run *transferRun }
+
+// Progress returns acknowledged bytes and total bytes.
+func (h *Handle) Progress() (done, total int64) {
+	return h.run.ackedBytes, h.run.req.Size
+}
+
+// Done reports whether the transfer has completed.
+func (h *Handle) Done() bool { return h.run.finished }
+
+// errNoPool is wrapped by Transfer when a required site has no deployment.
+var errNoPool = errors.New("transfer: missing deployment")
+
+// Transfer starts a transfer; onDone receives the Result when the last chunk
+// is acknowledged. It returns an error for invalid requests (unknown sites,
+// missing deployments, non-positive size).
+func (m *Manager) Transfer(req Request, onDone func(Result)) (*Handle, error) {
+	if req.Size <= 0 {
+		return nil, errors.New("transfer: size must be positive")
+	}
+	if m.net.Topology().Site(req.From) == nil || m.net.Topology().Site(req.To) == nil {
+		return nil, fmt.Errorf("transfer: unknown site %s or %s", req.From, req.To)
+	}
+	if req.From == req.To {
+		return nil, errors.New("transfer: source and destination site are equal")
+	}
+	if req.Lanes <= 0 {
+		req.Lanes = 1
+	}
+	if req.NodeBudget <= 0 {
+		req.NodeBudget = 8
+	}
+	if req.MaxPaths <= 0 {
+		req.MaxPaths = 3
+	}
+	if req.Intr <= 0 {
+		req.Intr = m.opt.DefaultIntr
+	}
+	t := &transferRun{
+		m:      m,
+		req:    req,
+		id:     m.nextID,
+		onDone: onDone,
+		seen:   make(map[uint64]bool),
+		nodes:  make(map[string]*netsim.Node),
+		egress: make(map[cloud.SiteID]int64),
+	}
+	m.nextID++
+	chunkBytes := m.opt.ChunkBytes
+	if req.ChunkBytes > 0 {
+		chunkBytes = req.ChunkBytes
+	}
+	t.pending = splitChunks(t.id, req.Size, chunkBytes)
+	t.stats.Chunks = len(t.pending)
+	t.stats.Strategy = req.Strategy
+	t.stats.From, t.stats.To = req.From, req.To
+	t.started = m.sched.Now()
+	if err := t.plan(); err != nil {
+		return nil, err
+	}
+	m.emit(trace.TransferStart, req.From, req.To, req.Size, 0, req.Strategy.String())
+	if req.Strategy.Dynamic() {
+		t.replanTick = m.sched.NewTicker(m.opt.ReplanInterval, func(simtime.Time) { t.replan() })
+	}
+	if req.Strategy == ParallelStatic {
+		// Static striping: assign every chunk to a lane up front, exactly
+		// like a statically tuned striped transfer. No reaction to the
+		// environment until a watchdog timeout forces a retransmit.
+		chunks := t.pending
+		t.pending = nil
+		for i, c := range chunks {
+			c.attempts++
+			t.lanes[i%len(t.lanes)].accept(c)
+		}
+	} else {
+		t.fill()
+	}
+	return &Handle{run: t}, nil
+}
+
+// transferRun is the per-transfer dispatcher state.
+type transferRun struct {
+	m      *Manager
+	req    Request
+	id     uint64
+	onDone func(Result)
+
+	pending    []*chunk
+	lanes      []*lane
+	laneSeq    int
+	rr         int // round-robin cursor for ParallelStatic
+	seen       map[uint64]bool
+	ackedCount int
+	ackedBytes int64
+	nodes      map[string]*netsim.Node
+	egress     map[cloud.SiteID]int64
+	stats      Result
+	started    simtime.Time
+	finished   bool
+	replanTick *simtime.Ticker
+}
+
+// plan builds the initial lane set for the request's strategy.
+func (t *transferRun) plan() error {
+	lanes, err := t.buildLanes()
+	if err != nil {
+		return err
+	}
+	t.lanes = lanes
+	return nil
+}
+
+// buildLanes constructs lanes according to the strategy from fresh
+// estimates.
+func (t *transferRun) buildLanes() ([]*lane, error) {
+	var chains [][]cloud.SiteID
+	switch t.req.Strategy {
+	case Direct:
+		chains = [][]cloud.SiteID{{t.req.From, t.req.To}}
+	case ParallelStatic, EnvAware:
+		for i := 0; i < t.req.Lanes; i++ {
+			chains = append(chains, []cloud.SiteID{t.req.From, t.req.To})
+		}
+	case WidestStatic, WidestDynamic:
+		p, ok := t.m.graph().WidestPath(t.req.From, t.req.To)
+		if !ok {
+			return nil, fmt.Errorf("transfer: no path %s -> %s", t.req.From, t.req.To)
+		}
+		for i := 0; i < t.req.Lanes; i++ {
+			chains = append(chains, p.Sites)
+		}
+	case MultipathStatic, MultipathDynamic:
+		alloc, ok := route.PlanMultipath(t.m.graph(), t.req.From, t.req.To,
+			t.req.NodeBudget, t.planParams(), t.req.MaxPaths)
+		if !ok {
+			return nil, fmt.Errorf("transfer: multipath planning failed %s -> %s", t.req.From, t.req.To)
+		}
+		for _, pa := range alloc.Paths {
+			for i := 0; i < pa.Lanes; i++ {
+				chains = append(chains, pa.Path.Sites)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("transfer: unknown strategy %v", t.req.Strategy)
+	}
+	var lanes []*lane
+	for _, chain := range chains {
+		nodes := make([]*netsim.Node, 0, len(chain))
+		for _, site := range chain {
+			nd, err := t.m.take(site)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", errNoPool, err)
+			}
+			nodes = append(nodes, nd)
+		}
+		l := newLane(t.laneSeq, nodes, t)
+		t.laneSeq++
+		lanes = append(lanes, l)
+		for _, nd := range nodes {
+			t.nodes[nd.ID] = nd
+		}
+	}
+	return lanes, nil
+}
+
+// planParams adapts the manager's model parameters to the request.
+func (t *transferRun) planParams() model.Params {
+	p := t.m.opt.Params
+	p.Intr = t.req.Intr
+	return p
+}
+
+// timeoutFor returns the stall watchdog deadline for one chunk hop.
+func (t *transferRun) timeoutFor(c *chunk) time.Duration {
+	est := t.m.estimate(t.req.From, t.req.To)
+	if est < 0.5 {
+		est = 0.5
+	}
+	d := time.Duration(10 * float64(c.size) / (est * 1e6) * float64(time.Second))
+	if d < 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// fill hands pending chunks to free lanes according to the strategy.
+func (t *transferRun) fill() {
+	if t.finished {
+		return
+	}
+	for len(t.pending) > 0 {
+		l := t.pickLane()
+		if l == nil {
+			return
+		}
+		c := t.pending[0]
+		t.pending = t.pending[1:]
+		if c.attempts > 0 {
+			t.stats.Retransmits++
+			t.m.emit(trace.Retransmit, t.req.From, t.req.To, c.size, float64(c.attempts), "")
+		}
+		c.attempts++
+		l.accept(c)
+	}
+}
+
+// recordEgress charges one chunk's WAN hop to the source site.
+func (t *transferRun) recordEgress(site cloud.SiteID, bytes int64) {
+	t.egress[site] += bytes
+}
+
+// pickLane selects a free lane per the strategy, or nil when none.
+func (t *transferRun) pickLane() *lane {
+	switch t.req.Strategy {
+	case ParallelStatic:
+		// Strict round-robin, oblivious to health — the baseline behaviour.
+		for i := 0; i < len(t.lanes); i++ {
+			l := t.lanes[(t.rr+i)%len(t.lanes)]
+			if l.free() {
+				t.rr = (t.rr + i + 1) % len(t.lanes)
+				return l
+			}
+		}
+		return nil
+	default:
+		// Environment-aware: healthy free lanes first. Unexplored lanes
+		// (no throughput sample yet) are tried eagerly; among explored
+		// ones, the fastest observed wins, and lanes observed running far
+		// below the best (a degraded VM or congested path) are shunned
+		// while better options exist.
+		bestEwma := 0.0
+		for _, l := range t.lanes {
+			if l.ewmaMBs > bestEwma {
+				bestEwma = l.ewmaMBs
+			}
+		}
+		var best *lane
+		for _, l := range t.lanes {
+			if !l.free() || !l.healthy() {
+				continue
+			}
+			if l.ewmaMBs > 0 && l.ewmaMBs < 0.25*bestEwma {
+				continue // problem lane: rely on it less
+			}
+			switch {
+			case best == nil:
+				best = l
+			case best.ewmaMBs == 0:
+				// keep the unexplored lane
+			case l.ewmaMBs == 0 || l.ewmaMBs > best.ewmaMBs:
+				best = l
+			}
+		}
+		if best != nil {
+			return best
+		}
+		// All healthy lanes busy; for pure EnvAware fall back to any free
+		// lane so progress continues even fully degraded.
+		for _, l := range t.lanes {
+			if l.free() {
+				return l
+			}
+		}
+		return nil
+	}
+}
+
+// requeue returns a chunk to the dispatcher after a failed hop, rebuilding
+// the lane set first when every existing lane is dead or unhealthy — the
+// self-healing path for transfers that lost all their workers.
+func (t *transferRun) requeue(c *chunk, from *lane) {
+	if t.finished || t.seen[c.hash] {
+		return
+	}
+	t.pending = append(t.pending, c)
+	healthy := false
+	for _, l := range t.lanes {
+		if !l.drain && l.healthy() {
+			healthy = true
+			break
+		}
+	}
+	if !healthy {
+		if lanes, err := t.buildLanes(); err == nil {
+			anyNew := false
+			for _, l := range lanes {
+				if l.healthy() {
+					anyNew = true
+					break
+				}
+			}
+			if anyNew {
+				for _, l := range t.lanes {
+					l.drain = true
+				}
+				t.lanes = append(t.lanes, lanes...)
+				t.stats.Replans++
+				t.m.emit(trace.Replan, t.req.From, t.req.To, 0,
+					float64(t.stats.Replans), "self-heal")
+			}
+		}
+	}
+	t.fill()
+}
+
+// acked records a chunk acknowledgement at the coordinator, deduplicating on
+// content hash.
+func (t *transferRun) acked(c *chunk) {
+	if t.finished {
+		return
+	}
+	t.stats.Acks++
+	if t.seen[c.hash] {
+		t.stats.Duplicates++
+		return
+	}
+	t.seen[c.hash] = true
+	t.ackedCount++
+	t.ackedBytes += c.size
+	if t.ackedCount == t.stats.Chunks {
+		t.finish()
+	}
+}
+
+// replan rebuilds lanes from fresh estimates for dynamic strategies. Old
+// lanes drain: they finish in-flight chunks but accept no new ones.
+func (t *transferRun) replan() {
+	if t.finished {
+		return
+	}
+	lanes, err := t.buildLanes()
+	if err != nil {
+		return // keep current lanes; the environment may recover
+	}
+	t.stats.Replans++
+	t.m.emit(trace.Replan, t.req.From, t.req.To, 0, float64(t.stats.Replans), t.req.Strategy.String())
+	// Drain current lanes and discard the ones that are already idle.
+	kept := t.lanes[:0]
+	for _, l := range t.lanes {
+		l.drain = true
+		if l.busy() {
+			kept = append(kept, l)
+		}
+	}
+	t.lanes = append(kept, lanes...)
+	t.fill()
+}
+
+// finish completes the transfer and reports the result.
+func (t *transferRun) finish() {
+	t.finished = true
+	if t.replanTick != nil {
+		t.replanTick.Stop()
+	}
+	for _, l := range t.lanes {
+		l.abort()
+	}
+	dur := t.m.sched.Now() - t.started
+	t.stats.Bytes = t.ackedBytes
+	t.stats.Duration = dur
+	if s := dur.Seconds(); s > 0 {
+		t.stats.MBps = float64(t.ackedBytes) / 1e6 / s
+	}
+	t.stats.NodesUsed = len(t.nodes)
+	// Cost: leased VM time at the request's intrusiveness for every node
+	// engaged, plus egress for every WAN hop crossed. Keys are sorted so
+	// float accumulation is deterministic.
+	cost := 0.0
+	nodeIDs := make([]string, 0, len(t.nodes))
+	for id := range t.nodes {
+		nodeIDs = append(nodeIDs, id)
+	}
+	sort.Strings(nodeIDs)
+	for _, id := range nodeIDs {
+		cost += t.nodes[id].Class.PricePerHour * dur.Hours() * t.req.Intr
+	}
+	topo := t.m.net.Topology()
+	sites := make([]string, 0, len(t.egress))
+	for site := range t.egress {
+		sites = append(sites, string(site))
+	}
+	sort.Strings(sites)
+	for _, site := range sites {
+		if s := topo.Site(cloud.SiteID(site)); s != nil {
+			cost += cloud.EgressCost(s, t.egress[cloud.SiteID(site)])
+		}
+	}
+	t.stats.Cost = cost
+	t.m.emit(trace.TransferDone, t.req.From, t.req.To, t.stats.Bytes,
+		dur.Seconds(), t.req.Strategy.String())
+	if t.onDone != nil {
+		t.onDone(t.stats)
+	}
+}

@@ -1,0 +1,154 @@
+// Package workload generates the synthetic inputs for SAGE experiments:
+// sensor-style event streams with skewed key popularity and diurnal rate
+// modulation, and the "scientific partials" bulk workload (many files of a
+// fixed size from several sites toward one meta-reducer site) that stands in
+// for the bio-informatics application of the original evaluation.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/rng"
+	"sage/internal/simtime"
+	"sage/internal/stream"
+)
+
+// SensorGen produces events with Zipf-skewed key popularity and normally
+// distributed values — the shape of telemetry from a fleet of sensors where
+// a few are chatty and most are quiet.
+type SensorGen struct {
+	r     *rng.Rand
+	zipf  *rng.Zipf
+	keys  int
+	mean  float64
+	sd    float64
+	site  cloud.SiteID
+	drift float64
+}
+
+// SensorOpts configures a generator.
+type SensorOpts struct {
+	// Keys is the number of distinct sensors (default 100).
+	Keys int
+	// Skew is the Zipf exponent (>1; default 1.3). Skew <= 1 selects
+	// uniform keys.
+	Skew float64
+	// Mean and Stddev shape the value distribution (defaults 20, 5).
+	Mean, Stddev float64
+	// DriftPerHour adds a slow linear trend to values, exercising
+	// window-to-window change (default 0).
+	DriftPerHour float64
+}
+
+// NewSensorGen builds a generator for one site from its own random stream.
+func NewSensorGen(r *rng.Rand, site cloud.SiteID, opt SensorOpts) *SensorGen {
+	if opt.Keys <= 0 {
+		opt.Keys = 100
+	}
+	if opt.Mean == 0 && opt.Stddev == 0 {
+		opt.Mean, opt.Stddev = 20, 5
+	}
+	g := &SensorGen{
+		r: r, keys: opt.Keys, mean: opt.Mean, sd: opt.Stddev,
+		site: site, drift: opt.DriftPerHour,
+	}
+	if opt.Skew > 1 {
+		g.zipf = rng.NewZipf(r, opt.Skew, 1, uint64(opt.Keys-1))
+	}
+	return g
+}
+
+// Next draws one event stamped at the given virtual time.
+func (g *SensorGen) Next(at simtime.Time) stream.Event {
+	var k int
+	if g.zipf != nil {
+		k = int(g.zipf.Uint64())
+	} else {
+		k = g.r.Intn(g.keys)
+	}
+	v := g.r.Normal(g.mean+g.drift*at.Hours(), g.sd)
+	return stream.Event{
+		Key:   fmt.Sprintf("sensor-%04d", k),
+		Value: v,
+		Time:  at,
+		Site:  g.site,
+	}
+}
+
+// Events draws n events with timestamps spread uniformly over
+// [from, from+span) in ascending order.
+func (g *SensorGen) Events(n int, from simtime.Time, span time.Duration) []stream.Event {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]stream.Event, n)
+	step := span / time.Duration(n)
+	at := from
+	for i := range out {
+		out[i] = g.Next(at)
+		at += step
+	}
+	return out
+}
+
+// RateFunc maps virtual time to an event rate in events/second.
+type RateFunc func(at simtime.Time) float64
+
+// ConstantRate returns a flat rate.
+func ConstantRate(eps float64) RateFunc {
+	return func(simtime.Time) float64 { return eps }
+}
+
+// DiurnalRate modulates a base rate sinusoidally with the given relative
+// amplitude and period — the day/night pattern of user-facing telemetry.
+func DiurnalRate(base, amplitude float64, period time.Duration) RateFunc {
+	if period <= 0 {
+		panic("workload: diurnal period must be positive")
+	}
+	return func(at simtime.Time) float64 {
+		phase := 2 * math.Pi * float64(at%simtime.Time(period)) / float64(period)
+		r := base * (1 + amplitude*math.Sin(phase))
+		if r < 0 {
+			return 0
+		}
+		return r
+	}
+}
+
+// EventCount returns the integer number of events a rate function yields
+// over a window starting at 'from' (rate sampled at the window start —
+// windows are short relative to rate drift).
+func EventCount(rate RateFunc, from simtime.Time, width time.Duration) int {
+	n := rate(from) * width.Seconds()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Partials describes the scientific bulk workload: every site holds Files
+// partial-result files of FileBytes each that must reach the sink.
+type Partials struct {
+	Sites     []cloud.SiteID
+	Files     int
+	FileBytes int64
+}
+
+// TotalBytes returns the workload's total volume.
+func (p Partials) TotalBytes() int64 {
+	return int64(len(p.Sites)) * int64(p.Files) * p.FileBytes
+}
+
+// PerSiteBytes returns one site's volume.
+func (p Partials) PerSiteBytes() int64 { return int64(p.Files) * p.FileBytes }
+
+// Validate reports configuration errors.
+func (p Partials) Validate() error {
+	if len(p.Sites) == 0 || p.Files <= 0 || p.FileBytes <= 0 {
+		return fmt.Errorf("workload: invalid partials %+v", p)
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/rng"
+	"sage/internal/simtime"
+)
+
+func TestSensorGenDefaults(t *testing.T) {
+	g := NewSensorGen(rng.New(1), "NEU", SensorOpts{})
+	e := g.Next(time.Second)
+	if e.Site != "NEU" || e.Time != time.Second {
+		t.Fatalf("event = %+v", e)
+	}
+	if !strings.HasPrefix(e.Key, "sensor-") {
+		t.Fatalf("key = %q", e.Key)
+	}
+}
+
+func TestSensorGenKeyRange(t *testing.T) {
+	g := NewSensorGen(rng.New(2), "A", SensorOpts{Keys: 10})
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[g.Next(0).Key] = true
+	}
+	if len(seen) > 10 {
+		t.Fatalf("saw %d distinct keys, want <= 10", len(seen))
+	}
+	if len(seen) < 8 {
+		t.Fatalf("uniform generator only visited %d of 10 keys", len(seen))
+	}
+}
+
+func TestSensorGenZipfSkew(t *testing.T) {
+	g := NewSensorGen(rng.New(3), "A", SensorOpts{Keys: 100, Skew: 1.5})
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[g.Next(0).Key]++
+	}
+	if counts["sensor-0000"] < 10*counts["sensor-0050"]+1 {
+		t.Fatalf("zipf head %d not dominant over mid %d",
+			counts["sensor-0000"], counts["sensor-0050"])
+	}
+}
+
+func TestSensorGenDrift(t *testing.T) {
+	g := NewSensorGen(rng.New(4), "A", SensorOpts{Mean: 10, Stddev: 0.001, DriftPerHour: 5})
+	early := g.Next(0).Value
+	late := g.Next(simtime.Time(2 * time.Hour)).Value
+	if late-early < 8 {
+		t.Fatalf("drift missing: %v -> %v", early, late)
+	}
+}
+
+func TestEventsSpacingAndOrder(t *testing.T) {
+	g := NewSensorGen(rng.New(5), "A", SensorOpts{})
+	evs := g.Events(10, 100*time.Second, 10*time.Second)
+	if len(evs) != 10 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Time < 100*time.Second || e.Time >= 110*time.Second {
+			t.Fatalf("event %d at %v outside window", i, e.Time)
+		}
+		if i > 0 && e.Time < evs[i-1].Time {
+			t.Fatal("events out of order")
+		}
+	}
+	if got := g.Events(0, 0, time.Second); got != nil {
+		t.Fatal("zero events should be nil")
+	}
+}
+
+func TestConstantRate(t *testing.T) {
+	r := ConstantRate(42)
+	if r(0) != 42 || r(simtime.Time(time.Hour)) != 42 {
+		t.Fatal("constant rate varies")
+	}
+}
+
+func TestDiurnalRate(t *testing.T) {
+	r := DiurnalRate(100, 0.5, 24*time.Hour)
+	peak := r(simtime.Time(6 * time.Hour))    // sin peak at quarter period
+	trough := r(simtime.Time(18 * time.Hour)) // sin trough
+	if peak <= 100 || trough >= 100 {
+		t.Fatalf("diurnal shape wrong: peak %v trough %v", peak, trough)
+	}
+	if peak > 151 || trough < 49 {
+		t.Fatalf("amplitude wrong: peak %v trough %v", peak, trough)
+	}
+	// Full-amplitude modulation never goes negative.
+	r2 := DiurnalRate(10, 2, 24*time.Hour)
+	if r2(simtime.Time(18*time.Hour)) < 0 {
+		t.Fatal("rate went negative")
+	}
+}
+
+func TestDiurnalInvalidPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DiurnalRate(1, 1, 0)
+}
+
+func TestEventCount(t *testing.T) {
+	if n := EventCount(ConstantRate(10), 0, 30*time.Second); n != 300 {
+		t.Fatalf("EventCount = %d, want 300", n)
+	}
+	if n := EventCount(ConstantRate(0), 0, time.Minute); n != 0 {
+		t.Fatalf("zero rate count = %d", n)
+	}
+}
+
+func TestPartials(t *testing.T) {
+	p := Partials{Sites: []cloud.SiteID{"A", "B", "C"}, Files: 10, FileBytes: 5}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalBytes() != 150 || p.PerSiteBytes() != 50 {
+		t.Fatalf("Total=%d PerSite=%d", p.TotalBytes(), p.PerSiteBytes())
+	}
+	bad := []Partials{
+		{Files: 10, FileBytes: 5},
+		{Sites: p.Sites, FileBytes: 5},
+		{Sites: p.Sites, Files: 10},
+	}
+	for i, b := range bad {
+		if b.Validate() == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
