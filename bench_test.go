@@ -10,6 +10,11 @@
 //	go test -bench=. -benchmem
 //
 // For full-size (non-quick) tables use the sagebench binary instead.
+//
+// These end-to-end benchmarks sit on top of the netsim allocator
+// micro-benchmarks (BenchmarkReallocate / BenchmarkFlowChurn in
+// internal/netsim); `go run ./cmd/sagebench -perf` snapshots both layers to
+// BENCH_netsim.json for regression tracking.
 package sage_test
 
 import (

@@ -1,7 +1,10 @@
 // Command sagebench regenerates the SAGE evaluation: every table and figure
 // of the reconstructed experiment suite (see DESIGN.md). Without flags it
 // runs everything; -exp selects one experiment, -quick shrinks sizes, -csv
-// emits machine-readable output, -list shows the index.
+// emits machine-readable output, -list shows the index. -perf skips the
+// tables and instead measures the netsim allocator micro-benchmarks,
+// writing the machine-readable baseline used for regression tracking.
+// -cpuprofile/-memprofile capture pprof profiles of whatever mode runs.
 //
 // Examples:
 //
@@ -9,12 +12,16 @@
 //	sagebench -exp 3
 //	sagebench -quick -seed 7
 //	sagebench -exp 9 -csv > f9.csv
+//	sagebench -perf                       # rewrites BENCH_netsim.json
+//	sagebench -quick -cpuprofile cpu.out  # profile the whole quick suite
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"sage/internal/bench"
@@ -22,11 +29,15 @@ import (
 
 func main() {
 	var (
-		expID = flag.Int("exp", 0, "experiment ID to run (0 = all)")
-		quick = flag.Bool("quick", false, "reduced sizes/durations")
-		seed  = flag.Uint64("seed", 1, "random seed")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		expID      = flag.Int("exp", 0, "experiment ID to run (0 = all)")
+		quick      = flag.Bool("quick", false, "reduced sizes/durations")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		perf       = flag.Bool("perf", false, "run netsim perf baseline and write -perf-out")
+		perfOut    = flag.String("perf-out", "BENCH_netsim.json", "output path for -perf baseline")
+		cpuprofile = flag.String("cpuprofile", "", "write CPU profile to file")
+		memprofile = flag.String("memprofile", "", "write heap profile to file")
 	)
 	flag.Parse()
 
@@ -35,6 +46,52 @@ func main() {
 		for _, e := range bench.All() {
 			fmt.Printf("%-4d %-16s %-6s %s\n", e.ID, e.Name, e.Figure, e.Desc)
 		}
+		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sagebench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sagebench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sagebench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sagebench: %v\n", err)
+			os.Exit(1)
+		}
+	}()
+
+	if *perf {
+		fmt.Fprintln(os.Stderr, "measuring netsim perf baseline (takes ~15s)...")
+		p := bench.RunPerfBaseline()
+		if err := os.WriteFile(*perfOut, p.JSON(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sagebench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, n := range []int{10, 100, 1000} {
+			key := fmt.Sprintf("FlowChurn/flows=%d", n)
+			r := p.Benchmarks[key]
+			fmt.Fprintf(os.Stderr, "%-22s %12.0f ns/op %6d allocs/op\n", key, r.NsPerOp, r.AllocsPerOp)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *perfOut)
 		return
 	}
 

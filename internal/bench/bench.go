@@ -88,8 +88,8 @@ func newEngine(seed uint64, variability bool) *core.Engine {
 	return e
 }
 
-// quietTopologyEngine returns an engine with variability disabled and a
-// deterministic topology, with n Medium workers per site.
+// deployedEngine returns a standard engine (variability as requested) with
+// workersPerSite Medium workers deployed in every site.
 func deployedEngine(seed uint64, variability bool, workersPerSite int) *core.Engine {
 	e := newEngine(seed, variability)
 	e.DeployEverywhere(cloud.Medium, workersPerSite)
@@ -134,7 +134,8 @@ func mb(bytes int64) string { return fmt.Sprintf("%dMB", bytes/(1<<20)) }
 // pct renders a ratio as a signed percentage.
 func pct(x float64) string { return fmt.Sprintf("%+.1f%%", 100*x) }
 
-// runFor drives a scheduler while a predicate holds, with a hard bound.
+// runUntilDone drives a scheduler until the done predicate holds, stepping
+// by step, with a hard bound on total virtual time.
 func runUntilDone(s *simtime.Scheduler, done func() bool, step, bound time.Duration) bool {
 	deadline := s.Now() + simtime.Time(bound)
 	for !done() && s.Now() < deadline {

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update rewrites the golden table files instead of comparing against them:
+//
+//	go test ./internal/bench -run TestGoldenTablesQuick -update
+var update = flag.Bool("update", false, "rewrite golden experiment tables")
+
+// renderQuick renders every table of an experiment exactly as sagebench
+// prints it (table text followed by a blank line).
+func renderQuick(e Experiment, seed uint64) string {
+	var b strings.Builder
+	for _, tb := range e.Run(Config{Seed: seed, Quick: true}) {
+		b.WriteString(tb.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func goldenPath(e Experiment) string {
+	return filepath.Join("testdata", "golden", fmt.Sprintf("exp%02d.txt", e.ID))
+}
+
+// TestGoldenTablesQuick pins the rendered Quick-mode output of every
+// registered experiment to golden files captured from the pre-optimization
+// allocator. Any byte of drift — a rate, a completion time, a row order —
+// fails the test, which is the safety net for rewrites of the netsim hot
+// path: the allocator may get faster, but never different.
+func TestGoldenTablesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick experiment suite")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			got := renderQuick(e, 1)
+			path := goldenPath(e)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with `go test ./internal/bench -run TestGoldenTablesQuick -update`): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("experiment %d output drifted from golden %s:\n%s", e.ID, path, firstDiff(string(want), got))
+			}
+		})
+	}
+}
+
+// firstDiff locates the first differing line for a readable failure message.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  want: %q\n  got:  %q", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line count differs: want %d, got %d", len(wl), len(gl))
+}
+
+// TestExperimentsDeterministicQuick runs every registered experiment twice
+// with the same seed and asserts byte-identical rendered tables. Unlike the
+// golden test this needs no captured files, so it also guards experiments
+// added after the golden snapshot.
+func TestExperimentsDeterministicQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick experiment suite twice")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			a, b := renderQuick(e, 3), renderQuick(e, 3)
+			if a != b {
+				t.Fatalf("experiment %d not deterministic:\n%s", e.ID, firstDiff(a, b))
+			}
+		})
+	}
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"sage/internal/netsim"
+)
+
+// PerfResult is one micro-benchmark measurement.
+type PerfResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// PerfBaseline is the machine-readable performance snapshot written to
+// BENCH_netsim.json by `sagebench -perf`. Future PRs regenerate the snapshot
+// on the same machine and compare against the committed copy to detect
+// allocator regressions (see the Performance section of DESIGN.md).
+type PerfBaseline struct {
+	GoVersion  string                `json:"go_version"`
+	GOARCH     string                `json:"goarch"`
+	Benchmarks map[string]PerfResult `json:"benchmarks"`
+	// Exp08MultiDCMillis is the wall-clock time of one quick-mode run of
+	// the end-to-end multi-datacenter experiment (seed 1).
+	Exp08MultiDCMillis float64 `json:"exp08_multidc_quick_ms"`
+}
+
+// perfFlowCounts are the concurrent-flow scales the micro-benchmarks sweep.
+var perfFlowCounts = []int{10, 100, 1000}
+
+// RunPerfBaseline measures the netsim allocator micro-benchmarks
+// (Reallocate and FlowChurn at 10/100/1000 concurrent flows) plus one
+// end-to-end quick experiment, and returns the snapshot.
+func RunPerfBaseline() PerfBaseline {
+	p := PerfBaseline{
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: make(map[string]PerfResult),
+	}
+	record := func(name string, r testing.BenchmarkResult) {
+		p.Benchmarks[name] = PerfResult{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	for _, n := range perfFlowCounts {
+		n := n
+		record(fmt.Sprintf("Reallocate/flows=%d", n),
+			testing.Benchmark(func(b *testing.B) { netsim.RunBenchmarkReallocate(b, n) }))
+		record(fmt.Sprintf("FlowChurn/flows=%d", n),
+			testing.Benchmark(func(b *testing.B) { netsim.RunBenchmarkFlowChurn(b, n) }))
+	}
+	if e, ok := ByID(8); ok {
+		start := time.Now()
+		e.Run(Config{Seed: 1, Quick: true})
+		p.Exp08MultiDCMillis = float64(time.Since(start).Microseconds()) / 1e3
+	}
+	return p
+}
+
+// JSON renders the baseline as indented JSON with a trailing newline.
+func (p PerfBaseline) JSON() []byte {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		panic(err) // static struct: cannot fail
+	}
+	return append(b, '\n')
+}

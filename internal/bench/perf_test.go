@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPerfBaselineFileValid guards the committed BENCH_netsim.json: it must
+// parse and cover every micro-benchmark the -perf mode sweeps, so regression
+// comparisons in future PRs never chase a stale or truncated baseline.
+func TestPerfBaselineFileValid(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_netsim.json"))
+	if err != nil {
+		t.Fatalf("missing perf baseline (regenerate with `go run ./cmd/sagebench -perf`): %v", err)
+	}
+	var p PerfBaseline
+	if err := json.Unmarshal(raw, &p); err != nil {
+		t.Fatalf("BENCH_netsim.json does not parse: %v", err)
+	}
+	for _, n := range perfFlowCounts {
+		for _, fam := range []string{"Reallocate", "FlowChurn"} {
+			key := fmt.Sprintf("%s/flows=%d", fam, n)
+			r, ok := p.Benchmarks[key]
+			if !ok {
+				t.Fatalf("baseline missing benchmark %q", key)
+			}
+			if r.NsPerOp <= 0 {
+				t.Fatalf("baseline %q has non-positive ns/op: %+v", key, r)
+			}
+		}
+	}
+	if p.Exp08MultiDCMillis <= 0 {
+		t.Fatal("baseline missing end-to-end exp08 timing")
+	}
+	// The headline acceptance numbers for the incremental allocator: churn
+	// at 1000 concurrent flows stays allocation-light. A regression that
+	// reintroduces per-event map/sort allocation trips this immediately
+	// when the baseline is regenerated.
+	if r := p.Benchmarks["FlowChurn/flows=1000"]; r.AllocsPerOp > 100 {
+		t.Fatalf("FlowChurn/flows=1000 allocates %d per op in the committed baseline; the incremental allocator budget is <100", r.AllocsPerOp)
+	}
+}

@@ -1,0 +1,88 @@
+// Benchmark drivers for the netsim hot path, shared between the Go benchmark
+// wrappers in netsim_bench_test.go and the `sagebench -perf` baseline mode.
+// They live in a non-test file so the sagebench binary can run the exact same
+// workloads through testing.Benchmark and snapshot the results to
+// BENCH_netsim.json (see internal/bench/perf.go).
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/rng"
+	"sage/internal/simtime"
+)
+
+// benchSites is the number of sites in the benchmark full mesh.
+const benchSites = 4
+
+// benchFlowBytes is large enough that benchmark flows never complete within
+// the simulated time a benchmark advances, so the concurrent flow count
+// stays constant.
+const benchFlowBytes = 1 << 43 // ~8.8 TB
+
+// NewBenchNetwork builds a quiet (no glitches, negligible probe noise)
+// full-mesh topology and starts nflows long-lived cross-site flows, one
+// distinct sender node per flow so the aggregate-parallelism bookkeeping is
+// exercised alongside the allocator.
+func NewBenchNetwork(nflows int) (*simtime.Scheduler, *Network, []*Flow) {
+	topo := cloud.NewTopology(1000, time.Millisecond)
+	ids := make([]cloud.SiteID, benchSites)
+	for i := range ids {
+		ids[i] = cloud.SiteID(fmt.Sprintf("S%d", i))
+		topo.AddSite(&cloud.Site{ID: ids[i]})
+	}
+	for i := range ids {
+		for j := range ids {
+			if i < j {
+				topo.AddSymmetricLink(cloud.LinkSpec{
+					From: ids[i], To: ids[j],
+					BaseMBps: 100, RTT: 10 * time.Millisecond, Jitter: 1e-9,
+				})
+			}
+		}
+	}
+	sched := simtime.New()
+	net := New(sched, topo, rng.New(1), Options{GlitchMeanGap: -1, ProbeNoise: 1e-9})
+	flows := make([]*Flow, nflows)
+	for i := range flows {
+		src := net.NewNode(ids[i%benchSites], cloud.Medium)
+		dst := net.NewNode(ids[(i+1)%benchSites], cloud.Medium)
+		flows[i] = net.StartFlow(src, dst, benchFlowBytes, FlowOpts{NoActivationDelay: true}, nil)
+	}
+	sched.RunFor(time.Second)
+	return sched, net, flows
+}
+
+// RunBenchmarkReallocate measures one full advance+reallocate pass over
+// nflows concurrent flows, with virtual time moving so byte crediting is
+// exercised too.
+func RunBenchmarkReallocate(b *testing.B, nflows int) {
+	sched, net, _ := NewBenchNetwork(nflows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.RunFor(time.Millisecond)
+		net.reschedule()
+	}
+}
+
+// RunBenchmarkFlowChurn measures flow arrival/departure under load: each
+// iteration cancels the oldest of nflows concurrent flows and starts a
+// replacement, triggering two reallocation passes plus all start/finish
+// bookkeeping.
+func RunBenchmarkFlowChurn(b *testing.B, nflows int) {
+	sched, net, flows := NewBenchNetwork(nflows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := i % nflows
+		victim := flows[idx]
+		net.CancelFlow(victim)
+		flows[idx] = net.StartFlow(victim.Src, victim.Dst, benchFlowBytes,
+			FlowOpts{NoActivationDelay: true}, nil)
+		sched.RunFor(time.Microsecond)
+	}
+}

@@ -150,3 +150,114 @@ func TestRatesRecomputeOnDeparture(t *testing.T) {
 		t.Fatalf("rate after departure = %v, want 10", f1.Rate())
 	}
 }
+
+// checkMaxMinInvariants asserts, over the current allocation, that
+// (a) capacity conservation holds: no resource carries more rate than its
+// current capacity; and (b) the max-min property holds: every active flow is
+// bottlenecked, i.e. crosses at least one saturated resource on which its
+// rate is maximal (so it cannot gain rate without a smaller-or-equal flow
+// losing).
+func checkMaxMinInvariants(t *testing.T, net *Network) {
+	t.Helper()
+	resources := map[*resource]bool{}
+	var active []*Flow
+	for _, f := range net.live {
+		if !f.active || f.finished {
+			continue
+		}
+		active = append(active, f)
+		for _, r := range f.resources {
+			resources[r] = true
+		}
+	}
+	load := map[*resource]float64{}
+	for r := range resources {
+		sum := 0.0
+		for _, f := range r.flows {
+			sum += f.rate
+		}
+		load[r] = sum
+		cap := r.capacity(len(r.flows))
+		if sum > cap+1e-6*cap+1e-9 {
+			t.Fatalf("resource %s over-subscribed: %v of %v MB/s", r.name, sum, cap)
+		}
+	}
+	for _, f := range active {
+		bottlenecked := false
+		for _, r := range f.resources {
+			cap := r.capacity(len(r.flows))
+			saturated := load[r] >= cap-1e-6*cap-1e-9
+			maximal := true
+			for _, g := range r.flows {
+				if g.rate > f.rate+1e-6*f.rate+1e-9 {
+					maximal = false
+					break
+				}
+			}
+			if saturated && maximal {
+				bottlenecked = true
+				break
+			}
+		}
+		if !bottlenecked {
+			t.Fatalf("flow %d (rate %v) has no saturated bottleneck resource: max-min violated", f.ID, f.rate)
+		}
+	}
+}
+
+// TestMaxMinInvariantsUnderChurn starts, cancels and completes randomized
+// flow batches and re-checks capacity conservation and the max-min property
+// after every churn step. This is the property-style safety net for the
+// incremental allocator's bookkeeping (per-resource flow lists, epoch marks,
+// scratch reuse).
+func TestMaxMinInvariantsUnderChurn(t *testing.T) {
+	sched := simtime.New()
+	net := New(sched, quietTopo(), rng.New(1234), quietOpts())
+	r := rng.New(5678)
+	sites := []cloud.SiteID{"A", "B", "C"}
+	classes := []cloud.VMClass{cloud.Small, cloud.Medium, cloud.XLarge}
+	var nodes []*Node
+	for _, s := range sites {
+		for i := 0; i < 4; i++ {
+			nodes = append(nodes, net.NewNode(s, classes[r.Intn(len(classes))]))
+		}
+	}
+	var flows []*Flow
+	for round := 0; round < 80; round++ {
+		// Start a random batch, sometimes capped, sometimes intra-site.
+		for i := 0; i < 1+r.Intn(5); i++ {
+			src := nodes[r.Intn(len(nodes))]
+			dst := nodes[r.Intn(len(nodes))]
+			if src == dst {
+				continue
+			}
+			var opts FlowOpts
+			if r.Intn(4) == 0 {
+				opts.CapMBps = 0.5 + 3*r.Float64()
+			}
+			size := int64(1e6 + r.Float64()*60e6)
+			flows = append(flows, net.StartFlow(src, dst, size, opts, nil))
+		}
+		// Cancel a random victim now and then.
+		if len(flows) > 0 && r.Intn(3) == 0 {
+			victim := flows[r.Intn(len(flows))]
+			if !victim.Finished() {
+				net.CancelFlow(victim)
+			}
+		}
+		// Let time pass so activations fire and small flows complete.
+		sched.RunFor(time.Duration(r.Intn(4000)) * time.Millisecond)
+		checkMaxMinInvariants(t, net)
+		// Compact the finished flows out of the working set.
+		live := flows[:0]
+		for _, f := range flows {
+			if !f.Finished() {
+				live = append(live, f)
+			}
+		}
+		flows = live
+	}
+	if net.ActiveFlows() == 0 {
+		t.Fatal("churn test ended with no live flows; workload too weak to exercise the allocator")
+	}
+}

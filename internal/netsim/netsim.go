@@ -167,6 +167,19 @@ type Flow struct {
 	resources  []*resource
 	activation *simtime.Event
 	network    *Network
+
+	// resBuf backs resources (at most up, down, WAN link, rate cap) so
+	// starting a flow does not allocate a resource slice.
+	resBuf [4]*resource
+	// capRes is the per-flow rate-cap resource, embedded to avoid a
+	// separate allocation for capped flows.
+	capRes resource
+	// fixedEpoch marks the flow as rate-fixed during the reallocation pass
+	// with the matching Network.allocEpoch.
+	fixedEpoch uint64
+	// projEnd is the projected completion time under the current rate,
+	// maintained by reallocate for the wake-up heap.
+	projEnd simtime.Time
 }
 
 // Size returns the flow size in bytes.
@@ -191,20 +204,43 @@ func (f *Flow) Started() simtime.Time { return f.started }
 // Ended returns the virtual time the flow finished (valid once Finished).
 func (f *Flow) Ended() simtime.Time { return f.ended }
 
-// Duration returns Ended - Started for a finished flow.
-func (f *Flow) Duration() time.Duration { return f.ended - f.started }
+// Duration returns Ended - Started for a finished flow, and 0 for a flow
+// that is still in progress (whose end time is not yet meaningful).
+func (f *Flow) Duration() time.Duration {
+	if !f.finished {
+		return 0
+	}
+	return f.ended - f.started
+}
 
 // resource is anything with a capacity shared max-min among flows: a NIC
 // direction, a WAN link, or a per-flow rate cap.
 type resource struct {
 	name string
 	// capFn returns current capacity given the number of flows crossing
-	// the resource.
-	capFn func(k int) float64
+	// the resource. nil means the capacity is the constant fixedCap.
+	capFn    func(k int) float64
+	fixedCap float64
+
+	// flows is the ID-ordered list of active flows crossing the resource,
+	// maintained incrementally on flow activation and finish so the
+	// allocator never rebuilds per-resource membership.
+	flows []*Flow
+
+	// seenEpoch marks the resource as visited by the reallocation pass with
+	// the matching Network.allocEpoch.
+	seenEpoch uint64
 
 	// scratch fields used during allocation
 	nflows    int
 	remaining float64
+}
+
+func (r *resource) capacity(k int) float64 {
+	if r.capFn != nil {
+		return r.capFn(k)
+	}
+	return r.fixedCap
 }
 
 // wanLink is the dynamic state of a directed inter-site link.
@@ -235,11 +271,29 @@ type Network struct {
 
 	nodes   []*Node
 	links   map[[2]cloud.SiteID]*wanLink
-	flows   map[uint64]*Flow
 	nextID  uint64
 	wake    *simtime.Event
+	onWake  func()
 	egress  map[cloud.SiteID]int64
 	nodeSeq map[cloud.SiteID]int
+
+	// live is the ID-ordered list of unfinished flows (including flows
+	// still in their activation delay). IDs are assigned in increasing
+	// order, so StartFlow appends and finishFlow removes in place: no
+	// map-dump-and-sort per event.
+	live []*Flow
+
+	// allocEpoch identifies the current reallocation pass; resources and
+	// flows are stamped with it instead of tracking membership in
+	// per-call maps.
+	allocEpoch uint64
+
+	// Reusable scratch buffers for the allocator and advance, so steady
+	// state reallocation performs no heap allocation.
+	activeScratch    []*Flow
+	resOrderScratch  []*resource
+	completedScratch []*Flow
+	etaHeap          []*Flow
 }
 
 // New builds a Network over the topology. Link variability starts
@@ -252,10 +306,10 @@ func New(sched *simtime.Scheduler, topo *cloud.Topology, r *rng.Rand, opt Option
 		opt:     opt,
 		rand:    r.Split("netsim"),
 		links:   make(map[[2]cloud.SiteID]*wanLink),
-		flows:   make(map[uint64]*Flow),
 		egress:  make(map[cloud.SiteID]int64),
 		nodeSeq: make(map[cloud.SiteID]int),
 	}
+	n.onWake = func() { n.reschedule() }
 	for _, spec := range topo.Links() {
 		key := [2]cloud.SiteID{spec.From, spec.To}
 		lr := r.Split("link/" + string(spec.From) + ">" + string(spec.To))
@@ -422,7 +476,7 @@ func (n *Network) StartFlow(src, dst *Node, size int64, opts FlowOpts, onDone fu
 		onDone: onDone, network: n,
 	}
 	n.nextID++
-	f.resources = append(f.resources, src.up, dst.down)
+	f.resources = append(f.resBuf[:0], src.up, dst.down)
 	var link *wanLink
 	if src.Site != dst.Site {
 		link = n.links[[2]cloud.SiteID{src.Site, dst.Site}]
@@ -432,10 +486,10 @@ func (n *Network) StartFlow(src, dst *Node, size int64, opts FlowOpts, onDone fu
 		f.resources = append(f.resources, link.res)
 	}
 	if f.capMBps > 0 {
-		cap := f.capMBps
-		f.resources = append(f.resources, &resource{name: "cap", capFn: func(int) float64 { return cap }})
+		f.capRes = resource{name: "cap", fixedCap: f.capMBps}
+		f.resources = append(f.resources, &f.capRes)
 	}
-	n.flows[f.ID] = f
+	n.live = append(n.live, f) // IDs increase, so append keeps ID order
 	activate := func() {
 		if f.finished {
 			return
@@ -443,6 +497,9 @@ func (n *Network) StartFlow(src, dst *Node, size int64, opts FlowOpts, onDone fu
 		n.advance()
 		f.active = true
 		f.lastUpdate = n.sched.Now()
+		for _, r := range f.resources {
+			r.flows = insertFlowByID(r.flows, f)
+		}
 		if link != nil && !f.background {
 			link.senders[src]++
 		}
@@ -466,15 +523,25 @@ func (n *Network) CancelFlow(f *Flow) {
 	n.reschedule()
 }
 
-// sortedFlows returns the live flows ordered by ID for deterministic
-// iteration.
-func (n *Network) sortedFlows() []*Flow {
-	out := make([]*Flow, 0, len(n.flows))
-	for _, f := range n.flows {
-		out = append(out, f)
+// insertFlowByID inserts f into the ID-ordered slice s, keeping it sorted.
+// Flows usually activate in ID order, so the common case appends.
+func insertFlowByID(s []*Flow, f *Flow) []*Flow {
+	i := sort.Search(len(s), func(i int) bool { return s[i].ID > f.ID })
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = f
+	return s
+}
+
+// removeFlowByID removes f from the ID-ordered slice s, preserving order.
+func removeFlowByID(s []*Flow, f *Flow) []*Flow {
+	i := sort.Search(len(s), func(i int) bool { return s[i].ID >= f.ID })
+	if i < len(s) && s[i] == f {
+		copy(s[i:], s[i+1:])
+		s[len(s)-1] = nil
+		s = s[:len(s)-1]
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return s
 }
 
 // KillNode marks a node failed: its flows abort and new flows through it
@@ -482,7 +549,7 @@ func (n *Network) sortedFlows() []*Flow {
 func (n *Network) KillNode(node *Node) {
 	node.failed = true
 	var victims []*Flow
-	for _, f := range n.sortedFlows() {
+	for _, f := range n.live {
 		if f.Src == node || f.Dst == node {
 			victims = append(victims, f)
 		}
@@ -558,14 +625,17 @@ func (n *Network) Probe(from, to cloud.SiteID) float64 {
 func (n *Network) EgressBytes(site cloud.SiteID) int64 { return n.egress[site] }
 
 // ActiveFlows returns the number of unfinished flows.
-func (n *Network) ActiveFlows() int { return len(n.flows) }
+func (n *Network) ActiveFlows() int { return len(n.live) }
 
 // advance credits every active flow with bytes for time elapsed since the
-// last reallocation, and completes flows that have finished.
+// last reallocation, and completes flows that have finished. The byte ledger
+// — not the projected-completion heap — decides completion, so
+// floating-point rounding in the projection can never change which flows
+// finish at an event.
 func (n *Network) advance() {
 	now := n.sched.Now()
-	var completed []*Flow
-	for _, f := range n.sortedFlows() {
+	completed := n.completedScratch[:0]
+	for _, f := range n.live {
 		if !f.active || f.finished {
 			continue
 		}
@@ -582,6 +652,7 @@ func (n *Network) advance() {
 	for _, f := range completed {
 		n.finishFlow(f, nil)
 	}
+	n.completedScratch = completed[:0]
 }
 
 func (n *Network) finishFlow(f *Flow, err error) {
@@ -615,9 +686,14 @@ func (n *Network) finishFlow(f *Flow, err error) {
 		}
 		n.egress[f.Src.Site] += int64(f.done)
 	}
+	if f.active {
+		for _, r := range f.resources {
+			r.flows = removeFlowByID(r.flows, f)
+		}
+	}
 	f.active = false
 	f.rate = 0
-	delete(n.flows, f.ID)
+	n.live = removeFlowByID(n.live, f)
 	if f.onDone != nil {
 		cb := f.onDone
 		n.sched.After(0, func() { cb(f) })
@@ -632,44 +708,46 @@ func (n *Network) reschedule() {
 
 // reallocate computes max-min fair rates for all active flows by progressive
 // filling, then schedules a wake-up at the earliest projected completion.
+//
+// The pass is incremental and allocation-free in steady state: the active
+// list and per-resource flow lists are maintained on flow start/finish, the
+// per-pass resource ordering and "rate fixed" marks use epoch stamps instead
+// of maps, scratch buffers are reused across passes, and the single wake
+// event is rearmed in place. Iteration stays in deterministic (flow ID,
+// first-seen resource) order so floating-point accumulation and tie-breaking
+// are bit-identical to the original rebuild-per-event allocator.
 func (n *Network) reallocate() {
-	if n.wake != nil {
-		n.sched.Cancel(n.wake)
-		n.wake = nil
-	}
-	// Gather resources and flow counts in deterministic (flow ID) order so
-	// floating-point accumulation and tie-breaking are reproducible.
-	resSet := make(map[*resource][]*Flow)
-	var resOrder []*resource
-	active := n.sortedFlows()
-	activeN := 0
-	for _, f := range active {
+	now := n.sched.Now()
+	n.allocEpoch++
+	epoch := n.allocEpoch
+	active := n.activeScratch[:0]
+	resOrder := n.resOrderScratch[:0]
+	for _, f := range n.live {
 		if !f.active || f.finished {
 			continue
 		}
-		active[activeN] = f
-		activeN++
+		active = append(active, f)
 		for _, r := range f.resources {
-			if _, seen := resSet[r]; !seen {
+			if r.seenEpoch != epoch {
+				r.seenEpoch = epoch
 				resOrder = append(resOrder, r)
+				r.nflows = len(r.flows)
+				r.remaining = r.capacity(len(r.flows))
+				if r.remaining < 0 {
+					r.remaining = 0
+				}
 			}
-			resSet[r] = append(resSet[r], f)
 		}
 	}
-	active = active[:activeN]
+	n.activeScratch, n.resOrderScratch = active, resOrder
 	if len(active) == 0 {
+		if n.wake != nil {
+			n.sched.Cancel(n.wake)
+		}
 		return
 	}
-	for _, r := range resOrder {
-		fl := resSet[r]
-		r.nflows = len(fl)
-		r.remaining = r.capFn(len(fl))
-		if r.remaining < 0 {
-			r.remaining = 0
-		}
-	}
-	fixed := make(map[*Flow]bool, len(active))
-	for len(fixed) < len(active) {
+	fixedCount := 0
+	for fixedCount < len(active) {
 		// Find bottleneck resource: minimum fair share among resources
 		// with unfixed flows.
 		var bottleneck *resource
@@ -688,13 +766,14 @@ func (n *Network) reallocate() {
 			break
 		}
 		rate := best
-		for _, f := range resSet[bottleneck] {
-			if fixed[f] {
+		for _, f := range bottleneck.flows {
+			if f.fixedEpoch == epoch {
 				continue
 			}
-			fixed[f] = true
+			f.fixedEpoch = epoch
+			fixedCount++
 			f.rate = rate
-			f.lastUpdate = n.sched.Now()
+			f.lastUpdate = now
 			for _, r := range f.resources {
 				r.remaining -= rate
 				if r.remaining < 0 {
@@ -704,8 +783,9 @@ func (n *Network) reallocate() {
 			}
 		}
 	}
-	// Schedule wake at the earliest completion.
-	soonest := simtime.Forever
+	// Rebuild the projected-completion min-heap over the new rates; its top
+	// is the earliest completion, where the (reused) wake event is rearmed.
+	h := n.etaHeap[:0]
 	for _, f := range active {
 		if f.rate <= 0 {
 			continue
@@ -715,11 +795,52 @@ func (n *Network) reallocate() {
 		if eta < time.Microsecond {
 			eta = time.Microsecond
 		}
-		if t := n.sched.Now() + eta; t < soonest {
-			soonest = t
-		}
+		f.projEnd = now + eta
+		h = append(h, f)
 	}
-	if soonest < simtime.Forever {
-		n.wake = n.sched.At(soonest, func() { n.reschedule() })
+	heapifyETA(h)
+	n.etaHeap = h
+	if len(h) > 0 {
+		if n.wake != nil {
+			n.sched.Reschedule(n.wake, h[0].projEnd)
+		} else {
+			n.wake = n.sched.At(h[0].projEnd, n.onWake)
+		}
+	} else if n.wake != nil {
+		n.sched.Cancel(n.wake)
+	}
+}
+
+// etaLess orders flows by (projected completion, ID); the ID tie-break keeps
+// the heap deterministic.
+func etaLess(a, b *Flow) bool {
+	if a.projEnd != b.projEnd {
+		return a.projEnd < b.projEnd
+	}
+	return a.ID < b.ID
+}
+
+// heapifyETA builds a min-heap in place, O(n) with zero allocation.
+func heapifyETA(h []*Flow) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDownETA(h, i)
+	}
+}
+
+func siftDownETA(h []*Flow, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && etaLess(h[l], h[m]) {
+			m = l
+		}
+		if r < len(h) && etaLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
 	}
 }

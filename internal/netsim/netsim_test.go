@@ -390,3 +390,21 @@ func TestNewNodesCountAndIDs(t *testing.T) {
 		}
 	}
 }
+
+func TestDurationUnfinishedAndCancelled(t *testing.T) {
+	sched, net := newQuiet(t)
+	src := net.NewNode("A", cloud.Small)
+	dst := net.NewNode("B", cloud.Small)
+	f := net.StartFlow(src, dst, 1e9, FlowOpts{}, nil)
+	if d := f.Duration(); d != 0 {
+		t.Fatalf("Duration before activation = %v, want 0", d)
+	}
+	sched.RunFor(2 * time.Second)
+	if d := f.Duration(); d != 0 {
+		t.Fatalf("Duration of in-progress flow = %v, want 0", d)
+	}
+	net.CancelFlow(f)
+	if d := f.Duration(); d != 2*time.Second {
+		t.Fatalf("Duration of cancelled flow = %v, want 2s (elapsed until abort)", d)
+	}
+}

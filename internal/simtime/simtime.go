@@ -94,6 +94,32 @@ func (s *Scheduler) Cancel(ev *Event) {
 	ev.cancel = true
 }
 
+// Reschedule (re)arms ev to fire once at absolute virtual time t, as if it
+// had been cancelled and freshly scheduled: the event receives a new
+// sequence number, so ties against other events at t are broken by
+// rescheduling order exactly as a fresh At would be. Unlike Cancel+At it
+// reuses the Event and its callback without allocating and without leaving a
+// cancelled ghost in the queue — the allocation-free path for hot periodic
+// events (the netsim wake, tickers). The event may be pending, cancelled or
+// already fired. Scheduling in the past panics, as with At.
+func (s *Scheduler) Reschedule(ev *Event, t Time) {
+	if ev == nil {
+		panic("simtime: Reschedule of nil event")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("simtime: rescheduling at %v before now %v", t, s.now))
+	}
+	ev.at = t
+	ev.seq = s.seq
+	s.seq++
+	ev.cancel = false
+	if ev.index >= 0 {
+		heap.Fix(&s.queue, ev.index)
+	} else {
+		heap.Push(&s.queue, ev)
+	}
+}
+
 // Step fires the next pending event, advancing the clock to its timestamp.
 // It returns false when no events remain.
 func (s *Scheduler) Step() bool {
@@ -172,26 +198,23 @@ type Ticker struct {
 }
 
 // NewTicker schedules fn every period, with the first firing one period from
-// now. period must be positive.
+// now. period must be positive. A Ticker allocates its callback and Event
+// once and rearms the same Event each period via Reschedule.
 func (s *Scheduler) NewTicker(period time.Duration, fn func(now Time)) *Ticker {
 	if period <= 0 {
 		panic("simtime: ticker period must be positive")
 	}
 	t := &Ticker{s: s, period: period, fn: fn}
-	t.schedule()
-	return t
-}
-
-func (t *Ticker) schedule() {
-	t.ev = t.s.After(t.period, func() {
+	t.ev = s.After(period, func() {
 		if t.stop {
 			return
 		}
 		t.fn(t.s.Now())
 		if !t.stop {
-			t.schedule()
+			t.s.Reschedule(t.ev, t.s.now+t.period)
 		}
 	})
+	return t
 }
 
 // Stop prevents any further firings.

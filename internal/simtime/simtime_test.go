@@ -258,3 +258,100 @@ func TestPropertyMonotonicClock(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRescheduleMovesPendingEvent(t *testing.T) {
+	s := New()
+	var order []string
+	ev := s.At(time.Second, func() { order = append(order, "moved") })
+	s.At(2*time.Second, func() { order = append(order, "fixed") })
+	s.Reschedule(ev, 3*time.Second)
+	s.Run()
+	if len(order) != 2 || order[0] != "fixed" || order[1] != "moved" {
+		t.Fatalf("order = %v, want [fixed moved]", order)
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want 3s", s.Now())
+	}
+}
+
+func TestRescheduleTakesFreshSequence(t *testing.T) {
+	// An event rescheduled to a time where another event already sits must
+	// fire after it, exactly as if it had been cancelled and re-created.
+	s := New()
+	var order []string
+	ev := s.At(time.Second, func() { order = append(order, "rescheduled") })
+	s.At(2*time.Second, func() { order = append(order, "earlier-scheduled") })
+	s.Reschedule(ev, 2*time.Second)
+	s.Run()
+	if len(order) != 2 || order[0] != "earlier-scheduled" || order[1] != "rescheduled" {
+		t.Fatalf("order = %v, want [earlier-scheduled rescheduled]", order)
+	}
+}
+
+func TestRescheduleRevivesCancelledEvent(t *testing.T) {
+	s := New()
+	fired := 0
+	ev := s.At(time.Second, func() { fired++ })
+	s.Cancel(ev)
+	s.Reschedule(ev, 2*time.Second)
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("revived event fired %d times, want 1", fired)
+	}
+}
+
+func TestRescheduleRearmsFiredEvent(t *testing.T) {
+	s := New()
+	fired := 0
+	var ev *Event
+	ev = s.At(time.Second, func() {
+		fired++
+		if fired < 3 {
+			s.Reschedule(ev, s.Now()+time.Second)
+		}
+	})
+	s.Run()
+	if fired != 3 {
+		t.Fatalf("rearmed event fired %d times, want 3", fired)
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want 3s", s.Now())
+	}
+}
+
+func TestReschedulePastPanics(t *testing.T) {
+	s := New()
+	ev := s.At(time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic rescheduling in the past")
+		}
+	}()
+	s.Reschedule(ev, 0)
+}
+
+func TestRescheduleLeavesNoGhosts(t *testing.T) {
+	// Cancel+At leaves a cancelled ghost per call; Reschedule must not.
+	s := New()
+	ev := s.At(time.Hour, func() {})
+	for i := 0; i < 100; i++ {
+		s.Reschedule(ev, time.Hour+time.Duration(i)*time.Second)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d after rescheduling one event, want 1", s.Pending())
+	}
+}
+
+func TestTickerReusesItsEvent(t *testing.T) {
+	s := New()
+	ticks := 0
+	s.NewTicker(time.Second, func(Time) { ticks++ })
+	s.RunUntil(10 * time.Second)
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10", ticks)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1 (the single rearmed ticker event)", s.Pending())
+	}
+}
