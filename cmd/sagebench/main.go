@@ -2,8 +2,9 @@
 // of the reconstructed experiment suite (see DESIGN.md). Without flags it
 // runs everything; -exp selects one experiment, -quick shrinks sizes, -csv
 // emits machine-readable output, -list shows the index. -perf skips the
-// tables and instead measures the netsim allocator micro-benchmarks,
-// writing the machine-readable baseline used for regression tracking.
+// tables and instead measures the netsim allocator and streaming data-plane
+// micro-benchmarks, writing the machine-readable baselines used for
+// regression tracking.
 // -cpuprofile/-memprofile capture pprof profiles of whatever mode runs.
 //
 // Examples:
@@ -12,7 +13,7 @@
 //	sagebench -exp 3
 //	sagebench -quick -seed 7
 //	sagebench -exp 9 -csv > f9.csv
-//	sagebench -perf                       # rewrites BENCH_netsim.json
+//	sagebench -perf                       # rewrites BENCH_netsim.json + BENCH_stream.json
 //	sagebench -quick -cpuprofile cpu.out  # profile the whole quick suite
 package main
 
@@ -29,15 +30,16 @@ import (
 
 func main() {
 	var (
-		expID      = flag.Int("exp", 0, "experiment ID to run (0 = all)")
-		quick      = flag.Bool("quick", false, "reduced sizes/durations")
-		seed       = flag.Uint64("seed", 1, "random seed")
-		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		list       = flag.Bool("list", false, "list experiments and exit")
-		perf       = flag.Bool("perf", false, "run netsim perf baseline and write -perf-out")
-		perfOut    = flag.String("perf-out", "BENCH_netsim.json", "output path for -perf baseline")
-		cpuprofile = flag.String("cpuprofile", "", "write CPU profile to file")
-		memprofile = flag.String("memprofile", "", "write heap profile to file")
+		expID         = flag.Int("exp", 0, "experiment ID to run (0 = all)")
+		quick         = flag.Bool("quick", false, "reduced sizes/durations")
+		seed          = flag.Uint64("seed", 1, "random seed")
+		csv           = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list          = flag.Bool("list", false, "list experiments and exit")
+		perf          = flag.Bool("perf", false, "run perf baselines and write -perf-out / -perf-stream-out")
+		perfOut       = flag.String("perf-out", "BENCH_netsim.json", "output path for the netsim -perf baseline")
+		perfStreamOut = flag.String("perf-stream-out", "BENCH_stream.json", "output path for the stream -perf baseline")
+		cpuprofile    = flag.String("cpuprofile", "", "write CPU profile to file")
+		memprofile    = flag.String("memprofile", "", "write heap profile to file")
 	)
 	flag.Parse()
 
@@ -89,9 +91,25 @@ func main() {
 		for _, n := range []int{10, 100, 1000} {
 			key := fmt.Sprintf("FlowChurn/flows=%d", n)
 			r := p.Benchmarks[key]
-			fmt.Fprintf(os.Stderr, "%-22s %12.0f ns/op %6d allocs/op\n", key, r.NsPerOp, r.AllocsPerOp)
+			fmt.Fprintf(os.Stderr, "%-26s %12.0f ns/op %6d allocs/op\n", key, r.NsPerOp, r.AllocsPerOp)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *perfOut)
+
+		fmt.Fprintln(os.Stderr, "measuring stream perf baseline...")
+		s := bench.RunStreamPerfBaseline()
+		if err := os.WriteFile(*perfStreamOut, s.JSON(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sagebench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, key := range []string{
+			"SensorGen/keys=1000", "WindowAggDense/keys=1000",
+			"WindowAggMap/keys=1000", "StreamPipeline/keys=1000",
+			"SlidingAdvanceEmpty", "WindowJoinAdvanceEmpty",
+		} {
+			r := s.Benchmarks[key]
+			fmt.Fprintf(os.Stderr, "%-26s %12.0f ns/op %6d allocs/op\n", key, r.NsPerOp, r.AllocsPerOp)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *perfStreamOut)
 		return
 	}
 
@@ -119,7 +137,20 @@ func main() {
 		run(e)
 		return
 	}
-	for _, e := range bench.All() {
-		run(e)
+	// Run-all mode fans experiments across cores (bench.RunAll) and prints
+	// results in ID order, so stdout is byte-identical to a serial run.
+	start := time.Now()
+	results := bench.RunAll(cfg)
+	for _, res := range results {
+		e := res.Experiment
+		fmt.Fprintf(os.Stderr, "ran %d/%s (%s) in %v\n", e.ID, e.Name, e.Figure, res.Elapsed.Round(time.Millisecond))
+		for _, tb := range res.Tables {
+			if *csv {
+				fmt.Print(tb.CSV())
+			} else {
+				fmt.Println(tb.String())
+			}
+		}
 	}
+	fmt.Fprintf(os.Stderr, "suite done in %v\n", time.Since(start).Round(time.Millisecond))
 }

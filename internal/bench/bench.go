@@ -61,6 +61,28 @@ func All() []Experiment {
 	return out
 }
 
+// ExperimentResult is one experiment's output from RunAll.
+type ExperimentResult struct {
+	Experiment Experiment
+	Tables     []*stats.Table
+	Elapsed    time.Duration
+}
+
+// RunAll runs every registered experiment and returns results in ID order.
+// Experiments fan out across parMap (each builds its own engine and RNG, so
+// they are independent); results land in pre-indexed slots, keeping output
+// identical to a serial run.
+func RunAll(cfg Config) []ExperimentResult {
+	exps := All()
+	out := make([]ExperimentResult, len(exps))
+	parMap(len(exps), func(i int) {
+		start := time.Now()
+		tables := exps[i].Run(cfg)
+		out[i] = ExperimentResult{Experiment: exps[i], Tables: tables, Elapsed: time.Since(start)}
+	})
+	return out
+}
+
 // ByID returns the experiment with the given ID.
 func ByID(id int) (Experiment, bool) {
 	for _, e := range registry {

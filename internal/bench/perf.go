@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"sage/internal/netsim"
+	"sage/internal/stream"
+	"sage/internal/workload"
 )
 
 // PerfResult is one micro-benchmark measurement.
@@ -26,8 +28,27 @@ type PerfBaseline struct {
 	GOARCH     string                `json:"goarch"`
 	Benchmarks map[string]PerfResult `json:"benchmarks"`
 	// Exp08MultiDCMillis is the wall-clock time of one quick-mode run of
-	// the end-to-end multi-datacenter experiment (seed 1).
-	Exp08MultiDCMillis float64 `json:"exp08_multidc_quick_ms"`
+	// the end-to-end multi-datacenter experiment (seed 1). Only the netsim
+	// baseline records it; the stream baseline omits it.
+	Exp08MultiDCMillis float64 `json:"exp08_multidc_quick_ms,omitempty"`
+}
+
+// newPerfBaseline returns an empty snapshot stamped with the toolchain.
+func newPerfBaseline() PerfBaseline {
+	return PerfBaseline{
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: make(map[string]PerfResult),
+	}
+}
+
+// record stores one testing.Benchmark result under the given name.
+func (p *PerfBaseline) record(name string, r testing.BenchmarkResult) {
+	p.Benchmarks[name] = PerfResult{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
 }
 
 // perfFlowCounts are the concurrent-flow scales the micro-benchmarks sweep.
@@ -37,23 +58,12 @@ var perfFlowCounts = []int{10, 100, 1000}
 // (Reallocate and FlowChurn at 10/100/1000 concurrent flows) plus one
 // end-to-end quick experiment, and returns the snapshot.
 func RunPerfBaseline() PerfBaseline {
-	p := PerfBaseline{
-		GoVersion:  runtime.Version(),
-		GOARCH:     runtime.GOARCH,
-		Benchmarks: make(map[string]PerfResult),
-	}
-	record := func(name string, r testing.BenchmarkResult) {
-		p.Benchmarks[name] = PerfResult{
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-		}
-	}
+	p := newPerfBaseline()
 	for _, n := range perfFlowCounts {
 		n := n
-		record(fmt.Sprintf("Reallocate/flows=%d", n),
+		p.record(fmt.Sprintf("Reallocate/flows=%d", n),
 			testing.Benchmark(func(b *testing.B) { netsim.RunBenchmarkReallocate(b, n) }))
-		record(fmt.Sprintf("FlowChurn/flows=%d", n),
+		p.record(fmt.Sprintf("FlowChurn/flows=%d", n),
 			testing.Benchmark(func(b *testing.B) { netsim.RunBenchmarkFlowChurn(b, n) }))
 	}
 	if e, ok := ByID(8); ok {
@@ -61,6 +71,34 @@ func RunPerfBaseline() PerfBaseline {
 		e.Run(Config{Seed: 1, Quick: true})
 		p.Exp08MultiDCMillis = float64(time.Since(start).Microseconds()) / 1e3
 	}
+	return p
+}
+
+// perfKeyCounts are the key-cardinality scales the stream micro-benchmarks
+// sweep.
+var perfKeyCounts = []int{100, 1000}
+
+// RunStreamPerfBaseline measures the streaming data-plane micro-benchmarks
+// (event generation, dense vs map windowed aggregation, the end-to-end
+// generate→aggregate→advance pipeline, and the steady-state empty advances)
+// and returns the snapshot written to BENCH_stream.json.
+func RunStreamPerfBaseline() PerfBaseline {
+	p := newPerfBaseline()
+	for _, k := range perfKeyCounts {
+		k := k
+		p.record(fmt.Sprintf("SensorGen/keys=%d", k),
+			testing.Benchmark(func(b *testing.B) { workload.RunBenchmarkSensorGen(b, k) }))
+		p.record(fmt.Sprintf("WindowAggDense/keys=%d", k),
+			testing.Benchmark(func(b *testing.B) { stream.RunBenchmarkWindowAggDense(b, k) }))
+		p.record(fmt.Sprintf("WindowAggMap/keys=%d", k),
+			testing.Benchmark(func(b *testing.B) { stream.RunBenchmarkWindowAggMap(b, k) }))
+		p.record(fmt.Sprintf("StreamPipeline/keys=%d", k),
+			testing.Benchmark(func(b *testing.B) { workload.RunBenchmarkStreamPipeline(b, k) }))
+	}
+	p.record("SlidingAdvanceEmpty",
+		testing.Benchmark(stream.RunBenchmarkSlidingAdvanceEmpty))
+	p.record("WindowJoinAdvanceEmpty",
+		testing.Benchmark(stream.RunBenchmarkWindowJoinAdvanceEmpty))
 	return p
 }
 

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"sage/internal/workload"
 )
 
 // TestPerfBaselineFileValid guards the committed BENCH_netsim.json: it must
@@ -41,5 +43,53 @@ func TestPerfBaselineFileValid(t *testing.T) {
 	// when the baseline is regenerated.
 	if r := p.Benchmarks["FlowChurn/flows=1000"]; r.AllocsPerOp > 100 {
 		t.Fatalf("FlowChurn/flows=1000 allocates %d per op in the committed baseline; the incremental allocator budget is <100", r.AllocsPerOp)
+	}
+}
+
+// TestStreamPerfBaselineFileValid guards the committed BENCH_stream.json the
+// same way: it must parse, cover every benchmark `-perf` sweeps, and hold
+// the allocation-free data-plane budgets — event generation and steady-state
+// watermark ticks allocate nothing, and the end-to-end pipeline stays at
+// ≤ 1 alloc per event.
+func TestStreamPerfBaselineFileValid(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_stream.json"))
+	if err != nil {
+		t.Fatalf("missing stream perf baseline (regenerate with `go run ./cmd/sagebench -perf`): %v", err)
+	}
+	var p PerfBaseline
+	if err := json.Unmarshal(raw, &p); err != nil {
+		t.Fatalf("BENCH_stream.json does not parse: %v", err)
+	}
+	for _, k := range perfKeyCounts {
+		for _, fam := range []string{"SensorGen", "WindowAggDense", "WindowAggMap", "StreamPipeline"} {
+			key := fmt.Sprintf("%s/keys=%d", fam, k)
+			r, ok := p.Benchmarks[key]
+			if !ok {
+				t.Fatalf("baseline missing benchmark %q", key)
+			}
+			if r.NsPerOp <= 0 {
+				t.Fatalf("baseline %q has non-positive ns/op: %+v", key, r)
+			}
+		}
+	}
+	for _, key := range []string{"SlidingAdvanceEmpty", "WindowJoinAdvanceEmpty"} {
+		r, ok := p.Benchmarks[key]
+		if !ok {
+			t.Fatalf("baseline missing benchmark %q", key)
+		}
+		if r.AllocsPerOp != 0 {
+			t.Fatalf("%s allocates %d per op in the committed baseline; the steady-state watermark-tick budget is 0", key, r.AllocsPerOp)
+		}
+	}
+	for _, k := range perfKeyCounts {
+		key := fmt.Sprintf("SensorGen/keys=%d", k)
+		if r := p.Benchmarks[key]; r.AllocsPerOp != 0 {
+			t.Fatalf("%s allocates %d per op; interned key generation must be allocation-free", key, r.AllocsPerOp)
+		}
+		key = fmt.Sprintf("StreamPipeline/keys=%d", k)
+		// One pipeline op pushes PipelineBatch events; ≤ 1 alloc/event.
+		if r := p.Benchmarks[key]; r.AllocsPerOp > workload.PipelineBatch {
+			t.Fatalf("%s allocates %d per %d-event op; the budget is ≤ 1 alloc per event", key, r.AllocsPerOp, workload.PipelineBatch)
+		}
 	}
 }

@@ -247,7 +247,8 @@ type sourceState struct {
 	spec    SourceSpec
 	gen     *workload.SensorGen
 	agg     *stream.WindowAgg
-	shipped int // partials shipped, drives calibration exploration
+	buf     []stream.Event // event batch buffer, reused across windows
+	shipped int            // partials shipped, drives calibration exploration
 }
 
 // windowState tracks global completion of one window at the sink.
@@ -355,7 +356,9 @@ func (e *Engine) Start(job JobSpec, dur time.Duration) (*JobRun, error) {
 		srcs[i] = &sourceState{
 			spec: spec,
 			gen:  gen,
-			agg:  stream.NewWindowAgg(job.Window, job.Agg),
+			// Dense cells over the generator's interned key table: the
+			// per-event aggregation path does no string hashing.
+			agg: stream.NewWindowAggDense(job.Window, job.Agg, gen.Table()),
 		}
 	}
 	nWindows := int(dur / job.Window)
@@ -379,9 +382,9 @@ func (e *Engine) Start(job JobSpec, dur time.Duration) (*JobRun, error) {
 		run.processed++
 		start := end - simtime.Time(job.Window)
 		n := workload.EventCount(s.spec.Rate, start, job.Window)
-		events := s.gen.Events(n, start, job.Window)
+		s.buf = s.gen.AppendEvents(s.buf[:0], n, start, job.Window)
 		kept := 0
-		for _, ev := range events {
+		for _, ev := range s.buf {
 			if job.Map != nil {
 				var ok bool
 				ev, ok = job.Map(ev)

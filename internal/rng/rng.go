@@ -159,7 +159,17 @@ type Zipf struct {
 	oneMinusQInv     float64
 	hxm, hx0MinusHxm float64
 	s                float64
+	// rej[k] caches the rejection threshold h(k+0.5) - (k+v)^-q for each
+	// integer candidate k. The threshold depends only on k and the
+	// generator's constants, so precomputing it is bit-identical to
+	// evaluating it per draw — it just moves two Exp and two Log calls
+	// out of the hot loop. Only built for small domains.
+	rej []float64
 }
+
+// zipfRejTableMax bounds the precomputed rejection-threshold table; larger
+// domains fall back to computing thresholds per draw.
+const zipfRejTableMax = 1 << 16
 
 // NewZipf returns a Zipf generator over {0, ..., imax} with exponent q > 1
 // and offset v >= 1.
@@ -173,7 +183,19 @@ func NewZipf(r *Rand, q, v float64, imax uint64) *Zipf {
 	z.hxm = z.h(z.imax + 0.5)
 	z.hx0MinusHxm = z.h(0.5) - math.Exp(math.Log(v)*(-q)) - z.hxm
 	z.s = 2 - z.hinv(z.h(1.5)-math.Exp(-q*math.Log(v+1)))
+	if imax < zipfRejTableMax {
+		z.rej = make([]float64, imax+1)
+		for k := range z.rej {
+			z.rej[k] = z.rejThreshold(float64(k))
+		}
+	}
 	return z
+}
+
+// rejThreshold is the acceptance bound for integer candidate k, exactly as
+// the rejection-inversion loop evaluates it.
+func (z *Zipf) rejThreshold(k float64) float64 {
+	return z.h(k+0.5) - math.Exp(-math.Log(k+z.v)*z.q)
 }
 
 func (z *Zipf) h(x float64) float64 {
@@ -194,7 +216,13 @@ func (z *Zipf) Uint64() uint64 {
 		if k-x <= z.s {
 			return uint64(k)
 		}
-		if ur >= z.h(k+0.5)-math.Exp(-math.Log(k+z.v)*z.q) {
+		var thresh float64
+		if i := int(k); z.rej != nil && i >= 0 && i < len(z.rej) {
+			thresh = z.rej[i]
+		} else {
+			thresh = z.rejThreshold(k)
+		}
+		if ur >= thresh {
 			return uint64(k)
 		}
 	}

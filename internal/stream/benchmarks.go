@@ -1,0 +1,122 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sage/internal/simtime"
+)
+
+// This file holds the bodies of the streaming data-plane micro-benchmarks
+// so that both `go test -bench` (internal/stream) and the perf-baseline
+// harness (`sagebench -perf` via internal/bench) run the identical
+// workload. Same pattern as internal/netsim/benchmarks.go.
+
+// benchBatch is the number of events one benchmark op aggregates — one
+// window's worth at paper-scale rates.
+const benchBatch = 1000
+
+// benchEvents builds one deterministic batch of events over `keys` interned
+// keys, spread across a single 30 s window. A small multiplicative hash
+// skews which keys repeat, standing in for the Zipf draw without an RNG
+// dependency.
+func benchEvents(keys int) ([]Event, *KeyTable) {
+	t := NewKeyTable()
+	strs := make([]string, keys)
+	ids := make([]int, keys)
+	for k := 0; k < keys; k++ {
+		strs[k] = fmt.Sprintf("sensor-%04d", k)
+		ids[k] = t.Intern(strs[k])
+	}
+	events := make([]Event, benchBatch)
+	step := simtime.Time(30*time.Second) / benchBatch
+	for i := range events {
+		k := (i * 2654435761) % keys
+		events[i] = Event{
+			Key:   strs[k],
+			KeyID: ids[k],
+			Value: float64(i%97) / 7,
+			Time:  simtime.Time(i) * step,
+		}
+	}
+	return events, t
+}
+
+// RunBenchmarkWindowAggDense measures the dense (KeyID-indexed) window
+// aggregation path: one op folds a 1000-event batch into a table-backed
+// WindowAgg and advances the watermark past it.
+func RunBenchmarkWindowAggDense(b *testing.B, keys int) {
+	events, table := benchEvents(keys)
+	w := NewWindowAggDense(30*time.Second, Mean, table)
+	span := simtime.Time(30 * time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := simtime.Time(i) * span
+		for _, e := range events {
+			e.Time += off
+			w.Add(e)
+		}
+		w.Advance(off + span)
+	}
+}
+
+// RunBenchmarkWindowAggMap measures the same workload through the
+// string-map path (no key table), the pre-interning baseline.
+func RunBenchmarkWindowAggMap(b *testing.B, keys int) {
+	events, _ := benchEvents(keys)
+	for i := range events {
+		events[i].KeyID = 0
+	}
+	w := NewWindowAgg(30*time.Second, Mean)
+	span := simtime.Time(30 * time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := simtime.Time(i) * span
+		for _, e := range events {
+			e.Time += off
+			w.Add(e)
+		}
+		w.Advance(off + span)
+	}
+}
+
+// RunBenchmarkSlidingAdvanceEmpty measures a sliding-window Advance that
+// closes nothing — the steady-state watermark tick. Budget: 0 allocs/op.
+func RunBenchmarkSlidingAdvanceEmpty(b *testing.B) {
+	a := NewSlidingAgg(NewSlidingWindows(30*time.Second, 10*time.Second), Mean)
+	for i := 0; i < 32; i++ {
+		a.Add(Event{Key: "k", Value: 1, Time: simtime.Time(i) * simtime.Time(10*time.Second)})
+	}
+	// Prime: one closing advance allocates the scratch slice; the
+	// steady-state ticks that close nothing must then reuse it.
+	watermark := simtime.Time(160 * time.Second)
+	a.Advance(watermark)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Advance(watermark)
+	}
+}
+
+// RunBenchmarkWindowJoinAdvanceEmpty measures a join Advance with nothing
+// to close — both sides' watermark ticks plus the (reused) right-side
+// index. Budget: 0 allocs/op.
+func RunBenchmarkWindowJoinAdvanceEmpty(b *testing.B) {
+	j := NewWindowJoin(10*time.Second, Sum)
+	for i := 0; i < 16; i++ {
+		at := simtime.Time(i) * simtime.Time(10*time.Second)
+		j.AddLeft(Event{Key: "k", Value: 1, Time: at})
+		j.AddRight(Event{Key: "k", Value: 2, Time: at})
+	}
+	// Prime: a real close allocates the right-side index and scratch
+	// slices once; steady-state ticks must then reuse them.
+	j.Advance(simtime.Time(time.Hour))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Advance(simtime.Time(time.Hour))
+	}
+}

@@ -1,0 +1,200 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sage/internal/simtime"
+)
+
+func TestKeyTableInternLookup(t *testing.T) {
+	kt := NewKeyTable()
+	if kt.Len() != 0 {
+		t.Fatalf("empty table Len = %d", kt.Len())
+	}
+	a := kt.Intern("alpha")
+	b := kt.Intern("beta")
+	if a == 0 || b == 0 || a == b {
+		t.Fatalf("ids = %d, %d; want distinct non-zero", a, b)
+	}
+	if kt.Intern("alpha") != a {
+		t.Fatal("re-interning must return the same id")
+	}
+	if id, ok := kt.Lookup("alpha"); !ok || id != a {
+		t.Fatalf("Lookup(alpha) = %d,%v", id, ok)
+	}
+	if _, ok := kt.Lookup("absent"); ok {
+		t.Fatal("Lookup of an unknown key must report !ok")
+	}
+	if kt.Key(a) != "alpha" || kt.Key(b) != "beta" {
+		t.Fatal("Key round-trip mismatch")
+	}
+	if kt.Key(0) != "" || kt.Key(-1) != "" || kt.Key(99) != "" {
+		t.Fatal("out-of-range ids must map to the empty string")
+	}
+	if kt.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", kt.Len())
+	}
+}
+
+// denseEvents deterministically builds a mixed event sequence: most keys are
+// interned in the table, a few are ad-hoc strings that exercise the map
+// fallback, and raw drives values, timestamps, and duplicates.
+func denseEvents(raw []uint16, table *KeyTable) []Event {
+	interned := make([]string, 5)
+	ids := make([]int, 5)
+	for i := range interned {
+		interned[i] = fmt.Sprintf("sensor-%04d", i)
+		ids[i] = table.Intern(interned[i])
+	}
+	events := make([]Event, len(raw))
+	for i, r := range raw {
+		e := Event{
+			Value: float64(r%251)/3 - 40,
+			Time:  simtime.Time(r%200) * simtime.Time(time.Second),
+		}
+		if i%7 == 3 {
+			// Ad-hoc key: never interned, exercises the map path even
+			// inside a dense aggregate.
+			e.Key = fmt.Sprintf("adhoc-%d", r%4)
+		} else {
+			k := int(r) % len(interned)
+			e.Key, e.KeyID = interned[k], ids[k]
+		}
+		events[i] = e
+	}
+	return events
+}
+
+func sameClosed(a, b []Closed) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("closed %d vs %d windows", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Window != b[i].Window {
+			return fmt.Errorf("window %d: %v vs %v", i, a[i].Window, b[i].Window)
+		}
+		ra, rb := a[i].Agg.Result(), b[i].Agg.Result()
+		if len(ra) != len(rb) {
+			return fmt.Errorf("window %v: %d vs %d keys", a[i].Window, len(ra), len(rb))
+		}
+		for j := range ra {
+			if ra[j] != rb[j] {
+				return fmt.Errorf("window %v row %d: %+v vs %+v", a[i].Window, j, ra[j], rb[j])
+			}
+		}
+	}
+	return nil
+}
+
+// Property: for every aggregation kind, a dense (KeyID-indexed) tumbling
+// aggregate and the plain string-map aggregate produce identical closed
+// windows — same windows, same keys, same order, bit-identical values —
+// for the same event sequence.
+func TestPropertyDenseMatchesMapTumbling(t *testing.T) {
+	for _, kind := range []AggKind{Count, Sum, Mean, Min, Max} {
+		kind := kind
+		f := func(raw []uint16) bool {
+			table := NewKeyTable()
+			events := denseEvents(raw, table)
+			dense := NewWindowAggDense(30*time.Second, kind, table)
+			plain := NewWindowAgg(30*time.Second, kind)
+			for _, e := range events {
+				dense.Add(e)
+				me := e
+				me.KeyID = 0 // force the string-map path
+				plain.Add(me)
+			}
+			return sameClosed(dense.Advance(simtime.Time(time.Hour)), plain.Advance(simtime.Time(time.Hour))) == nil
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("kind %v: %v", kind, err)
+		}
+	}
+}
+
+// Property: same equivalence for sliding windows, where each event lands in
+// several overlapping windows.
+func TestPropertyDenseMatchesMapSliding(t *testing.T) {
+	for _, kind := range []AggKind{Count, Sum, Mean, Min, Max} {
+		kind := kind
+		f := func(raw []uint16) bool {
+			table := NewKeyTable()
+			events := denseEvents(raw, table)
+			win := NewSlidingWindows(30*time.Second, 10*time.Second)
+			dense := NewSlidingAggDense(win, kind, table)
+			plain := NewSlidingAgg(win, kind)
+			for _, e := range events {
+				dense.Add(e)
+				me := e
+				me.KeyID = 0
+				plain.Add(me)
+			}
+			return sameClosed(dense.Advance(simtime.Time(time.Hour)), plain.Advance(simtime.Time(time.Hour))) == nil
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("kind %v: %v", kind, err)
+		}
+	}
+}
+
+// A stale KeyID — one that does not match the event's Key in the aggregate's
+// table — must fall back to the string path, not corrupt another key's cell.
+func TestDenseStaleKeyIDFallsBack(t *testing.T) {
+	table := NewKeyTable()
+	id := table.Intern("real")
+	a := NewKeyedAggDense(Sum, table)
+	a.Add(Event{Key: "impostor", KeyID: id, Value: 7})
+	if v, ok := a.Value("impostor"); !ok || v != 7 {
+		t.Fatalf("impostor value = %v,%v", v, ok)
+	}
+	if _, ok := a.Value("real"); ok {
+		t.Fatal("stale KeyID credited the interned key")
+	}
+}
+
+// Merging a dense aggregate into a map aggregate (and vice versa) must agree
+// with merging the map aggregates — the cross-representation migration path.
+func TestDenseMergeAcrossRepresentations(t *testing.T) {
+	table := NewKeyTable()
+	mk := func(densePart bool) *KeyedAgg {
+		var a *KeyedAgg
+		if densePart {
+			a = NewKeyedAggDense(Sum, table)
+		} else {
+			a = NewKeyedAgg(Sum)
+		}
+		return a
+	}
+	for _, fromDense := range []bool{true, false} {
+		for _, toDense := range []bool{true, false} {
+			src, dst, want := mk(fromDense), mk(toDense), NewKeyedAgg(Sum)
+			events := denseEvents([]uint16{3, 9, 14, 3, 200, 77, 9}, table)
+			for i := range events {
+				// Integer values add exactly, so the split-and-merge sum
+				// matches the sequential sum bit for bit.
+				events[i].Value = float64(int(events[i].Value))
+			}
+			for i, e := range events {
+				want.AddValue(e.Key, e.Value)
+				if i%2 == 0 {
+					dst.Add(e)
+				} else {
+					src.Add(e)
+				}
+			}
+			dst.Merge(src)
+			wr, dr := want.Result(), dst.Result()
+			if len(wr) != len(dr) {
+				t.Fatalf("from=%v to=%v: %d vs %d keys", fromDense, toDense, len(dr), len(wr))
+			}
+			for i := range wr {
+				if wr[i] != dr[i] {
+					t.Fatalf("from=%v to=%v row %d: %+v vs %+v", fromDense, toDense, i, dr[i], wr[i])
+				}
+			}
+		}
+	}
+}

@@ -48,6 +48,7 @@ func (p *Pipeline) MapFilter(name string, fn MapFunc) *Pipeline {
 func (p *Pipeline) Rekey(name string, key func(Event) string) *Pipeline {
 	return p.Map(name, func(e Event) Event {
 		e.Key = key(e)
+		e.KeyID = 0 // the interned ID no longer matches the key
 		return e
 	})
 }

@@ -23,6 +23,11 @@ import (
 type Event struct {
 	// Key partitions the aggregation (sensor id, gene id, ...).
 	Key string
+	// KeyID is Key's ID in the producer's KeyTable, or 0 when the key was
+	// never interned. Aggregates built over the same table use it to index
+	// cells directly instead of hashing Key; stages that rewrite Key must
+	// clear it (stale IDs are detected and fall back to the string path).
+	KeyID int
 	// Value is the measurement.
 	Value float64
 	// Time is the event timestamp in virtual time.
@@ -90,8 +95,14 @@ func (c *cell) add(v float64) {
 	if c.count == 0 {
 		c.min, c.max = v, v
 	} else {
-		c.min = math.Min(c.min, v)
-		c.max = math.Max(c.max, v)
+		// Branchy equivalents of math.Min/math.Max (including their NaN
+		// and ±0 behavior) that inline, unlike the arch function calls.
+		if v < c.min || v != v || (v == 0 && c.min == 0 && math.Signbit(v)) {
+			c.min = v
+		}
+		if v > c.max || v != v || (v == 0 && c.max == 0 && math.Signbit(c.max) && !math.Signbit(v)) {
+			c.max = v
+		}
 	}
 	c.count++
 	c.sum += v
@@ -131,24 +142,72 @@ func (c *cell) value(kind AggKind) float64 {
 	}
 }
 
-// KeyedAgg is a per-key mergeable aggregate.
+// KeyedAgg is a per-key mergeable aggregate. Built plain (NewKeyedAgg) it
+// hashes string keys into a map of cells; built over a KeyTable
+// (NewKeyedAggDense) events carrying a valid KeyID aggregate into
+// slice-indexed cells with no hashing and no per-key allocation, while
+// ad-hoc keys outside the table still take the map path. Results are
+// rendered identically either way: the same string keys, the same sorted
+// order, the same float accumulation order per key.
 type KeyedAgg struct {
 	Kind  AggKind
-	cells map[string]*cell
+	cells map[string]*cell // ad-hoc keys (always keys NOT in table)
+	table *KeyTable        // non-nil enables the dense path
+	dense []cell           // indexed by KeyID; dense[0] unused
+	live  int              // dense cells with count > 0
 }
 
-// NewKeyedAgg returns an empty aggregate of the given kind.
+// NewKeyedAgg returns an empty map-backed aggregate of the given kind.
 func NewKeyedAgg(kind AggKind) *KeyedAgg {
-	return &KeyedAgg{Kind: kind, cells: make(map[string]*cell)}
+	return &KeyedAgg{Kind: kind}
+}
+
+// NewKeyedAggDense returns an empty aggregate whose cells for keys interned
+// in t are indexed by KeyID instead of hashed.
+func NewKeyedAggDense(kind AggKind, t *KeyTable) *KeyedAgg {
+	a := &KeyedAgg{Kind: kind, table: t}
+	if t != nil {
+		a.dense = make([]cell, t.cap())
+	}
+	return a
 }
 
 // Add folds one event into the aggregate.
-func (a *KeyedAgg) Add(e Event) { a.AddValue(e.Key, e.Value) }
+func (a *KeyedAgg) Add(e Event) {
+	if a.table != nil && e.KeyID > 0 && a.table.Key(e.KeyID) == e.Key {
+		a.addDense(e.KeyID, e.Value)
+		return
+	}
+	a.AddValue(e.Key, e.Value)
+}
+
+// addDense folds a value into the slice-indexed cell for an interned key.
+func (a *KeyedAgg) addDense(id int, v float64) {
+	if id >= len(a.dense) {
+		grown := make([]cell, a.table.cap())
+		copy(grown, a.dense)
+		a.dense = grown
+	}
+	c := &a.dense[id]
+	if c.count == 0 {
+		a.live++
+	}
+	c.add(v)
+}
 
 // AddValue folds a raw key/value pair.
 func (a *KeyedAgg) AddValue(key string, v float64) {
+	if a.table != nil {
+		if id, ok := a.table.Lookup(key); ok {
+			a.addDense(id, v)
+			return
+		}
+	}
 	c := a.cells[key]
 	if c == nil {
+		if a.cells == nil {
+			a.cells = make(map[string]*cell)
+		}
 		c = &cell{}
 		a.cells[key] = c
 	}
@@ -157,7 +216,10 @@ func (a *KeyedAgg) AddValue(key string, v float64) {
 
 // Merge folds another aggregate of the same kind into this one. Merging
 // different kinds panics: it is a programming error that would silently
-// corrupt results.
+// corrupt results. The two sides need not share a table: cells migrate by
+// string key, landing dense when this side knows the key and in the map
+// otherwise. Per-key accumulation order is whatever the caller's merge
+// order is, exactly as with the map-only path.
 func (a *KeyedAgg) Merge(o *KeyedAgg) {
 	if o == nil {
 		return
@@ -165,22 +227,83 @@ func (a *KeyedAgg) Merge(o *KeyedAgg) {
 	if a.Kind != o.Kind {
 		panic(fmt.Sprintf("stream: merging %v into %v", o.Kind, a.Kind))
 	}
-	for k, oc := range o.cells {
-		c := a.cells[k]
-		if c == nil {
-			c = &cell{}
-			a.cells[k] = c
+	if o.table != nil && o.table == a.table {
+		// Shared table: cells line up index for index.
+		for id := 1; id < len(o.dense); id++ {
+			if o.dense[id].count == 0 {
+				continue
+			}
+			a.mergeDense(id, &o.dense[id])
 		}
-		c.merge(oc)
+	} else {
+		for id := 1; id < len(o.dense); id++ {
+			if o.dense[id].count == 0 {
+				continue
+			}
+			a.mergeCell(o.table.Key(id), &o.dense[id])
+		}
+	}
+	for k, oc := range o.cells {
+		a.mergeCell(k, oc)
+	}
+}
+
+// mergeDense folds one cell into the dense cell for an interned key.
+func (a *KeyedAgg) mergeDense(id int, oc *cell) {
+	if id >= len(a.dense) {
+		grown := make([]cell, a.table.cap())
+		copy(grown, a.dense)
+		a.dense = grown
+	}
+	c := &a.dense[id]
+	if c.count == 0 {
+		a.live++
+	}
+	c.merge(oc)
+}
+
+// mergeCell folds one cell in under its string key, routing to the dense
+// slice when the key is interned here.
+func (a *KeyedAgg) mergeCell(key string, oc *cell) {
+	if a.table != nil {
+		if id, ok := a.table.Lookup(key); ok {
+			a.mergeDense(id, oc)
+			return
+		}
+	}
+	c := a.cells[key]
+	if c == nil {
+		if a.cells == nil {
+			a.cells = make(map[string]*cell)
+		}
+		c = &cell{}
+		a.cells[key] = c
+	}
+	c.merge(oc)
+}
+
+// Reset clears every accumulated value while keeping the aggregate's kind,
+// table, and allocated storage, leaving it indistinguishable from a freshly
+// constructed one. It backs WindowAgg's recycling pool.
+func (a *KeyedAgg) Reset() {
+	if a.live > 0 {
+		clear(a.dense)
+		a.live = 0
+	}
+	if len(a.cells) > 0 {
+		clear(a.cells)
 	}
 }
 
 // Keys returns the number of distinct keys.
-func (a *KeyedAgg) Keys() int { return len(a.cells) }
+func (a *KeyedAgg) Keys() int { return a.live + len(a.cells) }
 
 // Events returns the number of events folded in.
 func (a *KeyedAgg) Events() int64 {
 	var n int64
+	for id := 1; id < len(a.dense); id++ {
+		n += a.dense[id].count
+	}
 	for _, c := range a.cells {
 		n += c.count
 	}
@@ -190,6 +313,14 @@ func (a *KeyedAgg) Events() int64 {
 // Value returns the aggregate value for one key (0 for absent keys, with
 // ok=false).
 func (a *KeyedAgg) Value(key string) (float64, bool) {
+	if a.table != nil {
+		if id, ok := a.table.Lookup(key); ok {
+			if id < len(a.dense) && a.dense[id].count > 0 {
+				return a.dense[id].value(a.Kind), true
+			}
+			return 0, false
+		}
+	}
 	c, ok := a.cells[key]
 	if !ok {
 		return 0, false
@@ -205,7 +336,13 @@ type KV struct {
 
 // Result lists every key's aggregate value sorted by key.
 func (a *KeyedAgg) Result() []KV {
-	out := make([]KV, 0, len(a.cells))
+	out := make([]KV, 0, a.live+len(a.cells))
+	for id := 1; id < len(a.dense); id++ {
+		if a.dense[id].count == 0 {
+			continue
+		}
+		out = append(out, KV{Key: a.table.Key(id), Value: a.dense[id].value(a.Kind)})
+	}
 	for k, c := range a.cells {
 		out = append(out, KV{Key: k, Value: c.value(a.Kind)})
 	}
@@ -234,6 +371,12 @@ func (a *KeyedAgg) TopK(k int) []KV {
 // between sites instead of raw events.
 func (a *KeyedAgg) SerializedBytes() int64 {
 	var n int64
+	for id := 1; id < len(a.dense); id++ {
+		if a.dense[id].count == 0 {
+			continue
+		}
+		n += int64(len(a.table.Key(id))) + 32
+	}
 	for k := range a.cells {
 		n += int64(len(k)) + 32 // count, sum, min, max as fixed64
 	}
@@ -266,24 +409,84 @@ type WindowAgg struct {
 	Width time.Duration
 	Kind  AggKind
 	open  map[simtime.Time]*KeyedAgg
+	// table, when non-nil, makes every window's aggregate dense (see
+	// NewKeyedAggDense).
+	table *KeyTable
+	// last{Start,Agg} cache the most recent window so in-order event runs
+	// skip the map lookup; invalidated on Advance.
+	lastStart simtime.Time
+	lastAgg   *KeyedAgg
+	starts    []simtime.Time // Advance scratch, reused across calls
+	// aggPool and closedPool hold storage returned via Recycle, so a
+	// caller that consumes each Advance batch immediately can run the
+	// window churn without allocating.
+	aggPool    []*KeyedAgg
+	closedPool []Closed
 }
 
 // NewWindowAgg returns an empty windowed aggregator.
 func NewWindowAgg(width time.Duration, kind AggKind) *WindowAgg {
+	return NewWindowAggDense(width, kind, nil)
+}
+
+// NewWindowAggDense returns an empty windowed aggregator whose per-window
+// aggregates index cells by KeyID for keys interned in t.
+func NewWindowAggDense(width time.Duration, kind AggKind, t *KeyTable) *WindowAgg {
 	if width <= 0 {
 		panic("stream: window width must be positive")
 	}
-	return &WindowAgg{Width: width, Kind: kind, open: make(map[simtime.Time]*KeyedAgg)}
+	return &WindowAgg{Width: width, Kind: kind, table: t, open: make(map[simtime.Time]*KeyedAgg)}
+}
+
+// newAgg builds one window's aggregate, dense when a table is configured.
+// Recycled aggregates are reused before anything is allocated.
+func (w *WindowAgg) newAgg() *KeyedAgg {
+	if n := len(w.aggPool); n > 0 {
+		a := w.aggPool[n-1]
+		w.aggPool[n-1] = nil
+		w.aggPool = w.aggPool[:n-1]
+		return a
+	}
+	if w.table != nil {
+		return NewKeyedAggDense(w.Kind, w.table)
+	}
+	return NewKeyedAgg(w.Kind)
+}
+
+// Recycle returns a batch obtained from this aggregator's Advance to its
+// internal pool: the aggregates are cleared and reused for future windows,
+// and the slice backs the next Advance result. Only call it once per batch,
+// and only after the caller is completely done with the aggregates —
+// recycled aggregates must not be retained (the engine, which ships closed
+// partials downstream, must NOT recycle them).
+func (w *WindowAgg) Recycle(batch []Closed) {
+	for i := range batch {
+		if a := batch[i].Agg; a != nil {
+			a.Reset()
+			w.aggPool = append(w.aggPool, a)
+			batch[i] = Closed{}
+		}
+	}
+	w.closedPool = batch[:0]
 }
 
 // Add folds an event into its window.
 func (w *WindowAgg) Add(e Event) {
-	win := WindowFor(e.Time, w.Width)
-	agg := w.open[win.Start]
-	if agg == nil {
-		agg = NewKeyedAgg(w.Kind)
-		w.open[win.Start] = agg
+	// In-window runs hit the cached window via a range check, skipping
+	// the 64-bit modulo below entirely.
+	if w.lastAgg != nil {
+		if d := e.Time - w.lastStart; d >= 0 && d < simtime.Time(w.Width) {
+			w.lastAgg.Add(e)
+			return
+		}
 	}
+	start := e.Time - (e.Time % simtime.Time(w.Width))
+	agg := w.open[start]
+	if agg == nil {
+		agg = w.newAgg()
+		w.open[start] = agg
+	}
+	w.lastStart, w.lastAgg = start, agg
 	agg.Add(e)
 }
 
@@ -300,14 +503,31 @@ type Closed struct {
 // returns them ordered by window start. Events older than the watermark
 // arriving later open a fresh (late) window; SAGE treats those as late data.
 func (w *WindowAgg) Advance(watermark simtime.Time) []Closed {
-	var starts []simtime.Time
+	// The cached window may close below; a late event for the same start
+	// must then open a fresh window, not resurrect the closed aggregate.
+	w.lastAgg = nil
+	starts := w.starts[:0]
 	for start := range w.open {
 		if start+simtime.Time(w.Width) <= watermark {
 			starts = append(starts, start)
 		}
 	}
-	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
-	out := make([]Closed, 0, len(starts))
+	w.starts = starts
+	if len(starts) == 0 {
+		// Steady-state tick with nothing to close: no sort (whose
+		// interface conversion would allocate), no result slice.
+		return nil
+	}
+	if len(starts) > 1 {
+		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	}
+	out := w.closedPool
+	w.closedPool = nil
+	if cap(out) >= len(starts) {
+		out = out[:0]
+	} else {
+		out = make([]Closed, 0, len(starts))
+	}
 	for _, s := range starts {
 		out = append(out, Closed{
 			Window: Window{Start: s, End: s + simtime.Time(w.Width)},

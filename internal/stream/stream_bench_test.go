@@ -1,0 +1,10 @@
+package stream
+
+import "testing"
+
+func BenchmarkWindowAggDense100(b *testing.B)      { RunBenchmarkWindowAggDense(b, 100) }
+func BenchmarkWindowAggDense1000(b *testing.B)     { RunBenchmarkWindowAggDense(b, 1000) }
+func BenchmarkWindowAggMap100(b *testing.B)        { RunBenchmarkWindowAggMap(b, 100) }
+func BenchmarkWindowAggMap1000(b *testing.B)       { RunBenchmarkWindowAggMap(b, 1000) }
+func BenchmarkSlidingAdvanceEmpty(b *testing.B)    { RunBenchmarkSlidingAdvanceEmpty(b) }
+func BenchmarkWindowJoinAdvanceEmpty(b *testing.B) { RunBenchmarkWindowJoinAdvanceEmpty(b) }

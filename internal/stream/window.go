@@ -27,19 +27,20 @@ func NewSlidingWindows(width, slide time.Duration) SlidingWindows {
 	return SlidingWindows{Width: width, Slide: slide}
 }
 
-// WindowsFor returns every window containing t, earliest first.
-func (s SlidingWindows) WindowsFor(t simtime.Time) []Window {
+// WindowsFor appends every window containing t to dst, earliest first, and
+// returns the extended slice. Hot callers own a scratch slice and pass
+// dst[:0] to stay allocation-free; pass nil for a fresh slice.
+func (s SlidingWindows) WindowsFor(t simtime.Time, dst []Window) []Window {
 	n := int(s.Width / s.Slide)
 	latestStart := t - (t % simtime.Time(s.Slide))
-	out := make([]Window, 0, n)
 	for i := n - 1; i >= 0; i-- {
 		start := latestStart - simtime.Time(i)*simtime.Time(s.Slide)
 		if start < 0 {
 			continue
 		}
-		out = append(out, Window{Start: start, End: start + simtime.Time(s.Width)})
+		dst = append(dst, Window{Start: start, End: start + simtime.Time(s.Width)})
 	}
-	return out
+	return dst
 }
 
 // SlidingAgg accumulates keyed aggregates per sliding window.
@@ -47,19 +48,33 @@ type SlidingAgg struct {
 	Windows SlidingWindows
 	Kind    AggKind
 	open    map[simtime.Time]*KeyedAgg
+	table   *KeyTable
+	winBuf  []Window       // Add scratch, reused across events
+	starts  []simtime.Time // Advance scratch, reused across calls
 }
 
 // NewSlidingAgg returns an empty sliding-window aggregator.
 func NewSlidingAgg(w SlidingWindows, kind AggKind) *SlidingAgg {
-	return &SlidingAgg{Windows: w, Kind: kind, open: make(map[simtime.Time]*KeyedAgg)}
+	return NewSlidingAggDense(w, kind, nil)
+}
+
+// NewSlidingAggDense returns an empty sliding-window aggregator whose
+// per-window aggregates index cells by KeyID for keys interned in t.
+func NewSlidingAggDense(w SlidingWindows, kind AggKind, t *KeyTable) *SlidingAgg {
+	return &SlidingAgg{Windows: w, Kind: kind, table: t, open: make(map[simtime.Time]*KeyedAgg)}
 }
 
 // Add folds an event into every window containing it.
 func (a *SlidingAgg) Add(e Event) {
-	for _, w := range a.Windows.WindowsFor(e.Time) {
+	a.winBuf = a.Windows.WindowsFor(e.Time, a.winBuf[:0])
+	for _, w := range a.winBuf {
 		agg := a.open[w.Start]
 		if agg == nil {
-			agg = NewKeyedAgg(a.Kind)
+			if a.table != nil {
+				agg = NewKeyedAggDense(a.Kind, a.table)
+			} else {
+				agg = NewKeyedAgg(a.Kind)
+			}
 			a.open[w.Start] = agg
 		}
 		agg.Add(e)
@@ -72,13 +87,21 @@ func (a *SlidingAgg) Open() int { return len(a.open) }
 // Advance closes every window ending at or before the watermark, ordered by
 // start time.
 func (a *SlidingAgg) Advance(watermark simtime.Time) []Closed {
-	var starts []simtime.Time
+	starts := a.starts[:0]
 	for start := range a.open {
 		if start+simtime.Time(a.Windows.Width) <= watermark {
 			starts = append(starts, start)
 		}
 	}
-	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	a.starts = starts
+	if len(starts) == 0 {
+		// Steady-state tick with nothing to close: no sort (whose
+		// interface conversion would allocate), no result slice.
+		return nil
+	}
+	if len(starts) > 1 {
+		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	}
 	out := make([]Closed, 0, len(starts))
 	for _, s := range starts {
 		out = append(out, Closed{
@@ -108,6 +131,9 @@ type WindowJoin struct {
 	Kind  AggKind
 	left  *WindowAgg
 	right *WindowAgg
+	// byStart is Advance's right-side index, cleared and reused across
+	// calls so a steady-state (empty) advance allocates nothing.
+	byStart map[simtime.Time]*KeyedAgg
 }
 
 // NewWindowJoin builds a join over tumbling windows of the given width.
@@ -130,13 +156,15 @@ func (j *WindowJoin) AddRight(e Event) { j.right.Add(e) }
 func (j *WindowJoin) Advance(watermark simtime.Time) []JoinedPair {
 	ls := j.left.Advance(watermark)
 	rs := j.right.Advance(watermark)
-	rightByStart := make(map[simtime.Time]*KeyedAgg, len(rs))
+	if j.byStart == nil && len(rs) > 0 {
+		j.byStart = make(map[simtime.Time]*KeyedAgg, len(rs))
+	}
 	for _, c := range rs {
-		rightByStart[c.Window.Start] = c.Agg
+		j.byStart[c.Window.Start] = c.Agg
 	}
 	var out []JoinedPair
 	for _, lc := range ls {
-		ragg := rightByStart[lc.Window.Start]
+		ragg := j.byStart[lc.Window.Start]
 		if ragg == nil {
 			continue
 		}
@@ -149,6 +177,7 @@ func (j *WindowJoin) Advance(watermark simtime.Time) []JoinedPair {
 			}
 		}
 	}
+	clear(j.byStart)
 	return out
 }
 

@@ -12,7 +12,7 @@ import (
 
 func TestSlidingWindowsFor(t *testing.T) {
 	w := NewSlidingWindows(30*time.Second, 10*time.Second)
-	got := w.WindowsFor(35 * time.Second)
+	got := w.WindowsFor(35*time.Second, nil)
 	if len(got) != 3 {
 		t.Fatalf("windows = %v, want 3", got)
 	}
@@ -29,7 +29,7 @@ func TestSlidingWindowsFor(t *testing.T) {
 
 func TestSlidingWindowsEarlyEvents(t *testing.T) {
 	w := NewSlidingWindows(30*time.Second, 10*time.Second)
-	got := w.WindowsFor(5 * time.Second)
+	got := w.WindowsFor(5*time.Second, nil)
 	// Only the window starting at 0 exists this early.
 	if len(got) != 1 || got[0].Start != 0 {
 		t.Fatalf("early windows = %v", got)

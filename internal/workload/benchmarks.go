@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"sage/internal/rng"
+	"sage/internal/simtime"
+	"sage/internal/stream"
+)
+
+// Benchmark bodies shared between `go test -bench` and the perf-baseline
+// harness (`sagebench -perf`), mirroring internal/netsim/benchmarks.go.
+
+// PipelineBatch is the number of events one BenchmarkStreamPipeline op
+// pushes through generate → window-assign → aggregate → advance; per-event
+// cost is ns_per_op / PipelineBatch.
+const PipelineBatch = 1000
+
+// RunBenchmarkSensorGen measures drawing one Zipf-keyed event. Steady-state
+// budget: 0 allocs/op (the key strings are interned at construction).
+func RunBenchmarkSensorGen(b *testing.B, keys int) {
+	g := NewSensorGen(rng.New(1), "NEU", SensorOpts{Keys: keys, Skew: 1.3})
+	step := simtime.Time(time.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Next(simtime.Time(i) * step)
+	}
+}
+
+// RunBenchmarkStreamPipeline measures the full simulated data plane the way
+// the engine drives it: each op generates one PipelineBatch-event window
+// into a reused buffer, folds it into a dense windowed aggregate, advances
+// the watermark, and recycles the closed batch. Steady-state budget:
+// 0 allocs/op.
+func RunBenchmarkStreamPipeline(b *testing.B, keys int) {
+	g := NewSensorGen(rng.New(1), "NEU", SensorOpts{Keys: keys, Skew: 1.3})
+	agg := stream.NewWindowAggDense(30*time.Second, stream.Mean, g.Table())
+	span := 30 * time.Second
+	var buf []stream.Event
+	at := simtime.Time(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.AppendEvents(buf[:0], PipelineBatch, at, span)
+		for _, ev := range buf {
+			agg.Add(ev)
+		}
+		at += simtime.Time(span)
+		agg.Recycle(agg.Advance(at))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*PipelineBatch), "ns/event")
+}

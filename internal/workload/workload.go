@@ -18,15 +18,21 @@ import (
 
 // SensorGen produces events with Zipf-skewed key popularity and normally
 // distributed values — the shape of telemetry from a fleet of sensors where
-// a few are chatty and most are quiet.
+// a few are chatty and most are quiet. The "sensor-%04d" key strings are
+// formatted once at construction and interned into a KeyTable, so drawing
+// an event allocates nothing: Next hands out the prebuilt string plus its
+// integer KeyID, which table-aware aggregates use to index cells directly.
 type SensorGen struct {
-	r     *rng.Rand
-	zipf  *rng.Zipf
-	keys  int
-	mean  float64
-	sd    float64
-	site  cloud.SiteID
-	drift float64
+	r       *rng.Rand
+	zipf    *rng.Zipf
+	keys    int
+	keyStrs []string // keyStrs[k] = "sensor-%04d" formatted once
+	keyIDs  []int    // keyIDs[k] = interned ID in table
+	table   *stream.KeyTable
+	mean    float64
+	sd      float64
+	site    cloud.SiteID
+	drift   float64
 }
 
 // SensorOpts configures a generator.
@@ -54,6 +60,13 @@ func NewSensorGen(r *rng.Rand, site cloud.SiteID, opt SensorOpts) *SensorGen {
 	g := &SensorGen{
 		r: r, keys: opt.Keys, mean: opt.Mean, sd: opt.Stddev,
 		site: site, drift: opt.DriftPerHour,
+		keyStrs: make([]string, opt.Keys),
+		keyIDs:  make([]int, opt.Keys),
+		table:   stream.NewKeyTable(),
+	}
+	for k := range g.keyStrs {
+		g.keyStrs[k] = fmt.Sprintf("sensor-%04d", k)
+		g.keyIDs[k] = g.table.Intern(g.keyStrs[k])
 	}
 	if opt.Skew > 1 {
 		g.zipf = rng.NewZipf(r, opt.Skew, 1, uint64(opt.Keys-1))
@@ -61,21 +74,61 @@ func NewSensorGen(r *rng.Rand, site cloud.SiteID, opt SensorOpts) *SensorGen {
 	return g
 }
 
+// Table returns the generator's key table, for building dense aggregates
+// over its events (e.g. stream.NewWindowAggDense).
+func (g *SensorGen) Table() *stream.KeyTable { return g.table }
+
 // Next draws one event stamped at the given virtual time.
 func (g *SensorGen) Next(at simtime.Time) stream.Event {
+	var e stream.Event
+	g.nextInto(&e, at)
+	return e
+}
+
+// nextInto draws one event directly into *e, so batch fills copy each event
+// once instead of twice.
+func (g *SensorGen) nextInto(e *stream.Event, at simtime.Time) {
 	var k int
 	if g.zipf != nil {
 		k = int(g.zipf.Uint64())
 	} else {
 		k = g.r.Intn(g.keys)
 	}
-	v := g.r.Normal(g.mean+g.drift*at.Hours(), g.sd)
-	return stream.Event{
-		Key:   fmt.Sprintf("sensor-%04d", k),
-		Value: v,
-		Time:  at,
-		Site:  g.site,
+	mu := g.mean
+	if g.drift != 0 {
+		// Driftless generators skip the Duration→hours conversion; adding
+		// drift*hours == 0 would not change mu, so values are identical.
+		mu += g.drift * at.Hours()
 	}
+	e.Key = g.keyStrs[k]
+	e.KeyID = g.keyIDs[k]
+	e.Value = g.r.Normal(mu, g.sd)
+	e.Time = at
+	e.Site = g.site
+}
+
+// AppendEvents draws n events with timestamps spread uniformly over
+// [from, from+span) in ascending order, appending them to dst and returning
+// the extended slice. Hot callers pass buf[:0] to reuse one batch buffer
+// across windows.
+func (g *SensorGen) AppendEvents(dst []stream.Event, n int, from simtime.Time, span time.Duration) []stream.Event {
+	if n <= 0 {
+		return dst
+	}
+	if need := len(dst) + n; cap(dst) < need {
+		grown := make([]stream.Event, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	step := span / time.Duration(n)
+	at := from
+	base := len(dst)
+	dst = dst[:base+n]
+	for i := 0; i < n; i++ {
+		g.nextInto(&dst[base+i], at)
+		at += step
+	}
+	return dst
 }
 
 // Events draws n events with timestamps spread uniformly over
@@ -84,14 +137,7 @@ func (g *SensorGen) Events(n int, from simtime.Time, span time.Duration) []strea
 	if n <= 0 {
 		return nil
 	}
-	out := make([]stream.Event, n)
-	step := span / time.Duration(n)
-	at := from
-	for i := range out {
-		out[i] = g.Next(at)
-		at += step
-	}
-	return out
+	return g.AppendEvents(make([]stream.Event, 0, n), n, from, span)
 }
 
 // RateFunc maps virtual time to an event rate in events/second.

@@ -1,0 +1,8 @@
+package workload
+
+import "testing"
+
+func BenchmarkSensorGen100(b *testing.B)       { RunBenchmarkSensorGen(b, 100) }
+func BenchmarkSensorGen1000(b *testing.B)      { RunBenchmarkSensorGen(b, 1000) }
+func BenchmarkStreamPipeline100(b *testing.B)  { RunBenchmarkStreamPipeline(b, 100) }
+func BenchmarkStreamPipeline1000(b *testing.B) { RunBenchmarkStreamPipeline(b, 1000) }

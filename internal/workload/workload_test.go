@@ -136,3 +136,56 @@ func TestPartials(t *testing.T) {
 		}
 	}
 }
+
+func TestAppendEventsReusesBuffer(t *testing.T) {
+	g := NewSensorGen(rng.New(6), "A", SensorOpts{Keys: 10})
+	buf := g.AppendEvents(nil, 16, 0, 10*time.Second)
+	if len(buf) != 16 {
+		t.Fatalf("len = %d", len(buf))
+	}
+	first := &buf[0]
+	buf = g.AppendEvents(buf[:0], 16, 10*time.Second, 10*time.Second)
+	if len(buf) != 16 {
+		t.Fatalf("refill len = %d", len(buf))
+	}
+	if &buf[0] != first {
+		t.Fatal("AppendEvents reallocated a buffer with sufficient capacity")
+	}
+	// Appending must extend, not overwrite.
+	buf = g.AppendEvents(buf, 4, 20*time.Second, time.Second)
+	if len(buf) != 20 {
+		t.Fatalf("extended len = %d", len(buf))
+	}
+}
+
+func TestEventsMatchesAppendEvents(t *testing.T) {
+	a := NewSensorGen(rng.New(7), "A", SensorOpts{Keys: 20, Skew: 1.3})
+	b := NewSensorGen(rng.New(7), "A", SensorOpts{Keys: 20, Skew: 1.3})
+	evs := a.Events(50, 0, 30*time.Second)
+	app := b.AppendEvents(nil, 50, 0, 30*time.Second)
+	if len(evs) != len(app) {
+		t.Fatalf("%d vs %d events", len(evs), len(app))
+	}
+	for i := range evs {
+		if evs[i] != app[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, evs[i], app[i])
+		}
+	}
+}
+
+func TestSensorGenInternedKeys(t *testing.T) {
+	g := NewSensorGen(rng.New(8), "A", SensorOpts{Keys: 5})
+	table := g.Table()
+	if table == nil || table.Len() != 5 {
+		t.Fatalf("table = %v", table)
+	}
+	for i := 0; i < 100; i++ {
+		e := g.Next(0)
+		if e.KeyID == 0 {
+			t.Fatalf("event %d has no interned KeyID", i)
+		}
+		if table.Key(e.KeyID) != e.Key {
+			t.Fatalf("KeyID %d maps to %q, event key %q", e.KeyID, table.Key(e.KeyID), e.Key)
+		}
+	}
+}
