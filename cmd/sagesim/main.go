@@ -17,6 +17,7 @@ import (
 
 	"sage/internal/cloud"
 	"sage/internal/core"
+	"sage/internal/resilience"
 	"sage/internal/scenario"
 	"sage/internal/stats"
 	"sage/internal/stream"
@@ -48,6 +49,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 8, "worker VMs per site")
 		tracePath = flag.String("trace", "", "write the run's event timeline as JSON Lines to this file")
+		ckptEvery = flag.Duration("checkpoint-interval", 0, "enable resilience: checkpoint operator state at this interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -87,6 +89,9 @@ func main() {
 		Intr:            0.5,
 		BudgetPerWindow: *budget,
 	}
+	if *ckptEvery > 0 {
+		job.Resilience = &resilience.Config{CheckpointInterval: *ckptEvery}
+	}
 	rep, err := e.Run(job, time.Duration(*minutes*float64(time.Minute)))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sagesim: %v\n", err)
@@ -104,6 +109,13 @@ func main() {
 	tb.Add("latency p50", fmt.Sprintf("%.2fs", rep.LatencySummary.P50))
 	tb.Add("latency p95", fmt.Sprintf("%.2fs", rep.LatencySummary.P95))
 	tb.Add("latency p99", fmt.Sprintf("%.2fs", rep.LatencySummary.P99))
+	if rm := rep.Resilience; rm != nil {
+		tb.Add("checkpoints taken", fmt.Sprintf("%d", rm.Checkpoints))
+		tb.Add("failures detected", fmt.Sprintf("%d", rm.Failures))
+		tb.Add("recoveries", fmt.Sprintf("%d", rm.Recoveries))
+		tb.Add("sink failovers", fmt.Sprintf("%d", rm.Failovers))
+		tb.Add("duplicate bytes", stats.FmtBytes(rm.DuplicateBytes))
+	}
 	fmt.Println(tb.String())
 
 	top := stats.NewTable("global answer: top 5 keys", "key", "value")
@@ -155,6 +167,13 @@ func runScenario(path string) {
 		tb.Add("bytes moved over WAN", stats.FmtBytes(res.Report.TotalBytes))
 		tb.Add("money spent", stats.FmtMoney(res.Report.TotalCost))
 		tb.Add("latency p95", fmt.Sprintf("%.2fs", res.Report.LatencySummary.P95))
+		if rm := res.Report.Resilience; rm != nil {
+			tb.Add("checkpoints taken", fmt.Sprintf("%d", rm.Checkpoints))
+			tb.Add("failures detected", fmt.Sprintf("%d", rm.Failures))
+			tb.Add("recoveries", fmt.Sprintf("%d", rm.Recoveries))
+			tb.Add("sink failovers", fmt.Sprintf("%d", rm.Failovers))
+			tb.Add("duplicate bytes", stats.FmtBytes(rm.DuplicateBytes))
+		}
 		fmt.Println(tb.String())
 	case res.Gather != nil:
 		tb := stats.NewTable("gather report", "metric", "value")

@@ -22,6 +22,7 @@ import (
 	"sage/internal/model"
 	"sage/internal/monitor"
 	"sage/internal/netsim"
+	"sage/internal/resilience"
 	"sage/internal/rng"
 	"sage/internal/simtime"
 	"sage/internal/stats"
@@ -43,6 +44,9 @@ type Engine struct {
 	Calib *Calibrator
 	// Trace records the run's timeline when configured.
 	Trace *trace.Recorder
+	// det is the engine-wide heartbeat failure detector, created lazily by
+	// the first resilient job (its config sets the shared heartbeat timing).
+	det *resilience.Detector
 }
 
 // GainFor returns the gain used for planning transfers out of a site: the
@@ -168,6 +172,12 @@ type JobSpec struct {
 	// PartialOverheadBytes is the fixed envelope around one partial
 	// (default 1024).
 	PartialOverheadBytes int64
+	// Resilience, when non-nil, arms the resilience subsystem for this job:
+	// heartbeat failure detection, periodic checkpointing, transfer
+	// resumption, batch-log gap replay and sink failover. Nil (the default)
+	// leaves the engine's behavior bit-for-bit identical to a build without
+	// the subsystem.
+	Resilience *resilience.Config
 }
 
 func (j *JobSpec) withDefaults() error {
@@ -240,11 +250,15 @@ type Report struct {
 	// Global is the merged aggregate over every completed window — the
 	// analysis answer.
 	Global *stream.KeyedAgg
+	// Resilience reports what the resilience machinery did, when the job
+	// enabled it (nil otherwise).
+	Resilience *resilience.Metrics
 }
 
 // sourceState is the engine's per-source runtime.
 type sourceState struct {
 	spec    SourceSpec
+	idx     int // slot in JobSpec.Sources: the source's identity
 	gen     *workload.SensorGen
 	agg     *stream.WindowAgg
 	buf     []stream.Event // event batch buffer, reused across windows
@@ -256,6 +270,10 @@ type windowState struct {
 	window  stream.Window
 	arrived int
 	merged  *stream.KeyedAgg
+	// from marks which source slots have delivered this window — maintained
+	// only for resilient jobs, where replays can re-deliver a partial the
+	// sink already merged.
+	from map[int]bool
 }
 
 // JobRun is a started job. Multiple jobs may run concurrently on one
@@ -269,6 +287,13 @@ type JobRun struct {
 	processed int
 	expected  int
 	finalized bool
+	// sink is the current meta-reducer site: JobSpec.Sink until a failover
+	// re-elects it.
+	sink cloud.SiteID
+	// complete fires when a window's last partial lands at the sink.
+	complete func(*windowState, simtime.Time)
+	// guard is the job's resilience orchestrator (nil when disabled).
+	guard *jobGuard
 }
 
 // Done reports whether all windows have been processed and every partial
@@ -290,6 +315,9 @@ func (r *JobRun) finalize() *Report {
 	r.rep.LatencySummary = stats.Summarize(stats.Durations(r.rep.Latencies))
 	if r.rep.TotalBytes > 0 {
 		r.rep.MeanLoss = float64(r.rep.BytesLost) / float64(r.rep.TotalBytes)
+	}
+	if r.guard != nil {
+		r.rep.Resilience = r.guard.finish()
 	}
 	return r.rep
 }
@@ -341,10 +369,9 @@ func (e *Engine) Start(job JobSpec, dur time.Duration) (*JobRun, error) {
 		job:     job,
 		rep:     &Report{Global: stream.NewKeyedAgg(job.Agg)},
 		windows: make(map[simtime.Time]*windowState),
+		sink:    job.Sink,
 	}
 	rep := run.rep
-	windows := run.windows
-	inflight := &run.inflight
 
 	srcs := make([]*sourceState, len(job.Sources))
 	genRoot := rng.New(77)
@@ -355,6 +382,7 @@ func (e *Engine) Start(job JobSpec, dur time.Duration) (*JobRun, error) {
 		}
 		srcs[i] = &sourceState{
 			spec: spec,
+			idx:  i,
 			gen:  gen,
 			// Dense cells over the generator's interned key table: the
 			// per-event aggregation path does no string hashing.
@@ -364,13 +392,19 @@ func (e *Engine) Start(job JobSpec, dur time.Duration) (*JobRun, error) {
 	nWindows := int(dur / job.Window)
 	run.expected = nWindows * len(srcs)
 
-	complete := func(ws *windowState, at simtime.Time) {
+	run.complete = func(ws *windowState, at simtime.Time) {
+		rep.Global.Merge(ws.merged)
+		if run.guard != nil && !run.guard.noteComplete(ws.window.Start) {
+			// Re-collection of a window already counted before a failover:
+			// its contribution re-merged above, but the report counted it
+			// the first time.
+			return
+		}
 		rep.Windows++
 		rep.Latencies = append(rep.Latencies, at-ws.window.End)
-		rep.Global.Merge(ws.merged)
 		if e.Trace != nil {
 			e.Trace.Record(trace.Event{
-				At: at, Kind: trace.WindowComplete, Site: string(job.Sink),
+				At: at, Kind: trace.WindowComplete, Site: string(run.sink),
 				Value: (at - ws.window.End).Seconds(),
 				Note:  ws.window.String(),
 			})
@@ -378,7 +412,12 @@ func (e *Engine) Start(job JobSpec, dur time.Duration) (*JobRun, error) {
 	}
 
 	// Per-window per-source processing, scheduled at every window close.
+	// Resilient jobs defer the close while the source's site is declared
+	// dead; the guard replays the queue, in order, on recovery.
 	process := func(s *sourceState, end simtime.Time) {
+		if run.guard != nil && run.guard.deferIfDown(s, end) {
+			return
+		}
 		run.processed++
 		start := end - simtime.Time(job.Window)
 		n := workload.EventCount(s.spec.Rate, start, job.Window)
@@ -401,7 +440,7 @@ func (e *Engine) Start(job JobSpec, dur time.Duration) (*JobRun, error) {
 			if cw.Window.Start == start {
 				coveredCurrent = true
 			}
-			e.ship(job, rep, windows, inflight, s, cw, kept, complete)
+			e.ship(run, s, cw, kept)
 		}
 		if !coveredCurrent {
 			// Every window ships a partial even when all events were
@@ -411,9 +450,13 @@ func (e *Engine) Start(job JobSpec, dur time.Duration) (*JobRun, error) {
 				Window: stream.Window{Start: start, End: end},
 				Agg:    stream.NewKeyedAgg(job.Agg),
 			}
-			e.ship(job, rep, windows, inflight, s, empty, kept, complete)
+			e.ship(run, s, empty, kept)
 		}
 		rep.TotalEvents += int64(kept)
+	}
+
+	if job.Resilience != nil {
+		run.guard = newJobGuard(e, run, *job.Resilience, srcs, process)
 	}
 
 	for _, s := range srcs {
@@ -427,14 +470,25 @@ func (e *Engine) Start(job JobSpec, dur time.Duration) (*JobRun, error) {
 }
 
 // ship moves one closed window partial from a source site to the sink.
-func (e *Engine) ship(job JobSpec, rep *Report, windows map[simtime.Time]*windowState,
-	inflight *int, s *sourceState, cw stream.Closed, events int,
-	complete func(*windowState, simtime.Time)) {
+func (e *Engine) ship(run *JobRun, s *sourceState, cw stream.Closed, events int) {
+	e.shipResume(run, s, cw, events, nil)
+}
 
-	ws := windows[cw.Window.Start]
+// shipResume is ship with an optional transfer ledger: recovery replays pass
+// the checkpointed ledger of the interrupted transfer so delivery resumes
+// from the last acknowledged chunk.
+func (e *Engine) shipResume(run *JobRun, s *sourceState, cw stream.Closed, events int,
+	resume *transfer.Ledger) {
+
+	job := run.job
+	rep := run.rep
+	inflight := &run.inflight
+	sink := run.sink
+
+	ws := run.windows[cw.Window.Start]
 	if ws == nil {
 		ws = &windowState{window: cw.Window, merged: stream.NewKeyedAgg(job.Agg)}
-		windows[cw.Window.Start] = ws
+		run.windows[cw.Window.Start] = ws
 	}
 	var bytes int64
 	if job.ShipRaw {
@@ -444,7 +498,19 @@ func (e *Engine) ship(job JobSpec, rep *Report, windows map[simtime.Time]*window
 	}
 	bytes += job.PartialOverheadBytes
 
+	if run.guard != nil {
+		run.guard.recordWindow(s, cw, events, bytes)
+	}
+
 	arrive := func(tr time.Duration, lanes int, cost float64) {
+		if run.guard != nil && run.guard.noteArrive(s, ws, bytes) {
+			// Duplicate delivery: the sink already merged this partial (a
+			// replay overlapped with what survived the failure). The bytes
+			// and cost were still spent on the wire.
+			rep.TotalBytes += bytes
+			rep.TotalCost += cost
+			return
+		}
 		ws.arrived++
 		ws.merged.Merge(cw.Agg)
 		rep.SiteWindows = append(rep.SiteWindows, SiteWindow{
@@ -455,11 +521,11 @@ func (e *Engine) ship(job JobSpec, rep *Report, windows map[simtime.Time]*window
 		rep.TotalBytes += bytes
 		rep.TotalCost += cost
 		if ws.arrived == len(job.Sources) {
-			complete(ws, e.Sched.Now())
+			run.complete(ws, e.Sched.Now())
 		}
 	}
 
-	if s.spec.Site == job.Sink {
+	if s.spec.Site == sink {
 		// Local source: the partial is already at the meta-reducer.
 		arrive(0, 0, 0)
 		return
@@ -468,15 +534,15 @@ func (e *Engine) ship(job JobSpec, rep *Report, windows map[simtime.Time]*window
 	if job.Lossy {
 		// Datagram shipping: pace at the estimated link rate (bounded by
 		// the intrusiveness NIC share), lose what the network drops.
-		est, _ := e.Monitor.Estimate(s.spec.Site, job.Sink)
-		if l := e.Net.Topology().Link(s.spec.Site, job.Sink); est <= 0 && l != nil {
+		est, _ := e.Monitor.Estimate(s.spec.Site, sink)
+		if l := e.Net.Topology().Link(s.spec.Site, sink); est <= 0 && l != nil {
 			est = l.BaseMBps
 		}
 		if est < 0.5 {
 			est = 0.5
 		}
 		*inflight++
-		err := e.Mgr.SendDatagram(s.spec.Site, job.Sink, bytes, est, func(dr transfer.DatagramResult) {
+		err := e.Mgr.SendDatagram(s.spec.Site, sink, bytes, est, func(dr transfer.DatagramResult) {
 			*inflight--
 			rep.BytesLost += dr.Offered - dr.Delivered
 			arrive(dr.Duration, 2, dr.Cost)
@@ -488,17 +554,18 @@ func (e *Engine) ship(job JobSpec, rep *Report, windows map[simtime.Time]*window
 	}
 
 	req := transfer.Request{
-		From: s.spec.Site, To: job.Sink, Size: bytes,
+		From: s.spec.Site, To: sink, Size: bytes,
 		Strategy: job.Strategy, Lanes: job.Lanes,
 		NodeBudget: job.NodeBudget, MaxPaths: job.MaxPaths, Intr: job.Intr,
+		Resume: resume,
 	}
 	// Cost/time-aware sizing: invert the per-window budget or deadline into
 	// a node count against the monitor's current estimate, using the
 	// calibrated gain when available.
 	if job.BudgetPerWindow > 0 || job.DeadlinePerWindow > 0 {
-		est, sigma := e.Monitor.Estimate(s.spec.Site, job.Sink)
+		est, sigma := e.Monitor.Estimate(s.spec.Site, sink)
 		if est <= 0 {
-			if l := e.Net.Topology().Link(s.spec.Site, job.Sink); l != nil {
+			if l := e.Net.Topology().Link(s.spec.Site, sink); l != nil {
 				est = l.BaseMBps
 			}
 		}
@@ -551,10 +618,16 @@ func (e *Engine) ship(job JobSpec, rep *Report, windows map[simtime.Time]*window
 	s.shipped++
 	*inflight++
 	lanes := req.Lanes
-	_, err := e.Mgr.Transfer(req, func(res transfer.Result) {
+	h, err := e.Mgr.Transfer(req, func(res transfer.Result) {
 		*inflight--
 		if job.Calibrate && e.Calib != nil {
 			e.Calib.RecordNormalized(s.spec.Site, e.Sched.Now(), lanes, res.Duration, res.Bytes)
+		}
+		if res.SkippedBytes > 0 {
+			// Resumed transfer: the ledger spared these chunks the wire, so
+			// only the remainder counts toward shipped bytes.
+			bytes -= res.SkippedBytes
+			run.guard.noteSkipped(res.SkippedBytes)
 		}
 		arrive(res.Duration, res.NodesUsed, res.Cost)
 	})
@@ -562,5 +635,9 @@ func (e *Engine) ship(job JobSpec, rep *Report, windows map[simtime.Time]*window
 		*inflight--
 		// A partial that cannot be shipped is lost; the window will be
 		// reported incomplete.
+		return
+	}
+	if run.guard != nil {
+		run.guard.trackTransfer(s, cw.Window.Start, h)
 	}
 }

@@ -1,0 +1,652 @@
+package core
+
+import (
+	"sort"
+
+	"sage/internal/cloud"
+	"sage/internal/resilience"
+	"sage/internal/route"
+	"sage/internal/simtime"
+	"sage/internal/stream"
+	"sage/internal/trace"
+	"sage/internal/transfer"
+)
+
+// This file wires the resilience subsystem into the engine: the jobGuard
+// owns one resilient job's checkpointing, failure bookkeeping and recovery
+// orchestration. Every hook is gated on run.guard != nil in the engine's hot
+// paths, so a job without a Resilience config executes the exact event
+// sequence it always did.
+
+// detector lazily creates the engine-wide heartbeat failure detector. The
+// first resilient job's config fixes the shared heartbeat timing; later jobs
+// join the same detector.
+func (e *Engine) detector(cfg resilience.Config) *resilience.Detector {
+	if e.det == nil {
+		e.det = resilience.NewDetector(e.Sched, e.siteAlive, cfg)
+		e.det.Start()
+	}
+	return e.det
+}
+
+// Detector exposes the engine's failure detector (nil until a resilient job
+// starts) for tests and reports.
+func (e *Engine) Detector() *resilience.Detector { return e.det }
+
+// siteAlive is the engine's heartbeat probe: a site answers while any worker
+// VM in its deployment pool is up. Sites without a deployment carry no job
+// state, so they count as alive.
+func (e *Engine) siteAlive(site cloud.SiteID) bool {
+	pool := e.Mgr.Pool(site)
+	for _, n := range pool {
+		if !n.Failed() {
+			return true
+		}
+	}
+	return len(pool) == 0
+}
+
+// poolAlive reports whether a site has a deployment with at least one
+// healthy VM — the requirement for hosting a failed-over sink.
+func (e *Engine) poolAlive(site cloud.SiteID) bool {
+	for _, n := range e.Mgr.Pool(site) {
+		if !n.Failed() {
+			return true
+		}
+	}
+	return false
+}
+
+// routeGraph builds the failover planner's view of the WAN from current
+// monitor estimates, mirroring the transfer manager's planning graph.
+func (e *Engine) routeGraph() *route.Graph {
+	topo := e.Net.Topology()
+	return route.GraphFromEstimates(topo.SiteIDs(), func(from, to cloud.SiteID) float64 {
+		if from == to {
+			return topo.IntraMBps
+		}
+		if mean, _ := e.Monitor.Estimate(from, to); mean > 0 {
+			return mean
+		}
+		if l := topo.Link(from, to); l != nil {
+			return l.BaseMBps
+		}
+		return 0
+	})
+}
+
+// jobGuard orchestrates one resilient job: it keeps the batch log and
+// acknowledgement bookkeeping, takes periodic checkpoints, and reacts to the
+// detector's dead/alive transitions with transfer resumption, gap replay and
+// sink failover.
+type jobGuard struct {
+	e   *Engine
+	run *JobRun
+	cfg resilience.Config
+	det *resilience.Detector
+	log *resilience.BatchLog
+	met resilience.Metrics
+
+	// process replays a deferred window close (the engine's per-window
+	// callback).
+	process func(*sourceState, simtime.Time)
+	srcs    []*sourceState
+
+	ckptTick *simtime.Ticker
+	ckptSeq  int
+	lastCkpt []byte // encoded latest checkpoint, nil before the first
+
+	// Per-source bookkeeping, indexed by source slot.
+	acked    []map[simtime.Time]bool             // window ever delivered to a sink
+	inflight []map[simtime.Time]*transfer.Handle // live partial transfers
+	aborted  []map[simtime.Time]int64            // acked bytes at abort time
+	deferred [][]simtime.Time                    // window closes queued during downtime
+
+	// completed marks windows fully merged into the CURRENT sink's Global
+	// (reset to the checkpoint's set on failover); counted marks windows
+	// already counted in the report (never reset).
+	completed map[simtime.Time]bool
+	counted   map[simtime.Time]bool
+
+	// recovering tracks re-shipped windows per source until they land, which
+	// bounds the recovery-time measurement.
+	recovering     []map[simtime.Time]bool
+	recoveryStart  simtime.Time
+	recoveryActive bool
+
+	stopped bool
+}
+
+func newJobGuard(e *Engine, run *JobRun, cfg resilience.Config, srcs []*sourceState,
+	process func(*sourceState, simtime.Time)) *jobGuard {
+
+	cfg = cfg.WithDefaults()
+	g := &jobGuard{
+		e:         e,
+		run:       run,
+		cfg:       cfg,
+		det:       e.detector(cfg),
+		log:       resilience.NewBatchLog(cfg.RetainWindows),
+		process:   process,
+		srcs:      srcs,
+		completed: make(map[simtime.Time]bool),
+		counted:   make(map[simtime.Time]bool),
+	}
+	n := len(srcs)
+	g.acked = make([]map[simtime.Time]bool, n)
+	g.inflight = make([]map[simtime.Time]*transfer.Handle, n)
+	g.aborted = make([]map[simtime.Time]int64, n)
+	g.deferred = make([][]simtime.Time, n)
+	g.recovering = make([]map[simtime.Time]bool, n)
+	for i := range srcs {
+		g.acked[i] = make(map[simtime.Time]bool)
+		g.inflight[i] = make(map[simtime.Time]*transfer.Handle)
+		g.aborted[i] = make(map[simtime.Time]int64)
+		g.recovering[i] = make(map[simtime.Time]bool)
+	}
+	for _, s := range srcs {
+		g.det.Watch(s.spec.Site)
+	}
+	g.det.Watch(run.job.Sink)
+	g.det.OnTransition(g.onTransition)
+	if cfg.CheckpointInterval > 0 {
+		g.ckptTick = e.Sched.NewTicker(cfg.CheckpointInterval, func(simtime.Time) { g.checkpoint() })
+	}
+	return g
+}
+
+// finish stops the guard's ticker and returns the final metrics; called from
+// JobRun.finalize.
+func (g *jobGuard) finish() *resilience.Metrics {
+	if !g.stopped {
+		g.stopped = true
+		if g.ckptTick != nil {
+			g.ckptTick.Stop()
+		}
+	}
+	for i := range g.srcs {
+		g.met.LostWindows += g.log.Evicted(i)
+	}
+	m := g.met
+	return &m
+}
+
+func (g *jobGuard) emit(kind trace.Kind, site, peer cloud.SiteID, bytes int64, value float64, note string) {
+	if g.e.Trace == nil {
+		return
+	}
+	g.e.Trace.Record(trace.Event{
+		At: g.e.Sched.Now(), Kind: kind,
+		Site: string(site), Peer: string(peer),
+		Bytes: bytes, Value: value, Note: note,
+	})
+}
+
+// ---- engine hooks ----------------------------------------------------------
+
+// deferIfDown queues a window close while the source's site is declared
+// dead. The queue drains, in order, on recovery — preserving the generator's
+// draw sequence.
+func (g *jobGuard) deferIfDown(s *sourceState, end simtime.Time) bool {
+	if g.stopped || g.det.State(s.spec.Site) != resilience.Dead {
+		return false
+	}
+	g.deferred[s.idx] = append(g.deferred[s.idx], end)
+	return true
+}
+
+// recordWindow retains a shipped window in the source's batch log (first
+// ship only; replays find their window already present).
+func (g *jobGuard) recordWindow(s *sourceState, cw stream.Closed, events int, bytes int64) {
+	if _, ok := g.log.Get(s.idx, cw.Window.Start); ok {
+		return
+	}
+	g.log.Append(s.idx, resilience.LoggedWindow{
+		Window: cw.Window, Cells: cw.Agg.Snapshot(),
+		Events: events, EventBytes: bytes,
+	})
+}
+
+// trackTransfer remembers the handle shipping one window's partial so its
+// ledger can be checkpointed and the transfer aborted on failure.
+func (g *jobGuard) trackTransfer(s *sourceState, start simtime.Time, h *transfer.Handle) {
+	g.inflight[s.idx][start] = h
+}
+
+// noteArrive updates delivery bookkeeping when a partial lands; it returns
+// true when the delivery is a duplicate the sink must not merge again.
+func (g *jobGuard) noteArrive(s *sourceState, ws *windowState, bytes int64) bool {
+	i := s.idx
+	start := ws.window.Start
+	delete(g.inflight[i], start)
+	if g.run.windows[start] != ws {
+		// The window state was rebuilt by a failover after this delivery was
+		// dispatched; whatever it carried is accounted against the old sink.
+		g.met.DuplicateBytes += bytes
+		g.doneRecovering(i, start)
+		return true
+	}
+	if ws.from == nil {
+		ws.from = make(map[int]bool)
+	}
+	if ws.from[i] {
+		g.met.DuplicateBytes += bytes
+		g.doneRecovering(i, start)
+		return true
+	}
+	if g.acked[i][start] {
+		// First delivery to the CURRENT sink, but a previous sink had it:
+		// the work is duplicated even though the merge is needed.
+		g.met.DuplicateBytes += bytes
+	}
+	ws.from[i] = true
+	g.acked[i][start] = true
+	g.doneRecovering(i, start)
+	return false
+}
+
+// noteComplete reports whether a completing window should be counted in the
+// report (false for re-collections after a failover).
+func (g *jobGuard) noteComplete(start simtime.Time) bool {
+	g.completed[start] = true
+	if g.counted[start] {
+		return false
+	}
+	g.counted[start] = true
+	return true
+}
+
+// noteSkipped credits ledger-resumption savings.
+func (g *jobGuard) noteSkipped(bytes int64) { g.met.SkippedBytes += bytes }
+
+// ---- checkpointing ---------------------------------------------------------
+
+// checkpoint snapshots the job's distributed state, serializes it (the
+// encoded form is what recovery decodes — the serialization is exercised on
+// every cycle), and trims batch logs behind the completion frontier.
+func (g *jobGuard) checkpoint() {
+	if g.stopped {
+		return
+	}
+	// A checkpoint is a coordinated snapshot: every current participant —
+	// the sources and the acting sink — must contribute state, so the round
+	// is skipped while any of them is declared dead. This is what makes the
+	// interval matter: a failure invalidates every round since the last
+	// completed one.
+	for _, s := range g.srcs {
+		if g.det.State(s.spec.Site) == resilience.Dead {
+			return
+		}
+	}
+	if g.det.State(g.run.sink) == resilience.Dead {
+		return
+	}
+	g.ckptSeq++
+	ck := g.buildCheckpoint()
+	b := ck.Encode()
+	g.lastCkpt = b
+	g.met.Checkpoints++
+	g.met.CheckpointBytes += int64(len(b))
+	g.met.LastCheckpointBytes = int64(len(b))
+	cutoff := g.completionFrontier()
+	for i := range g.srcs {
+		g.log.TrimThrough(i, cutoff)
+	}
+	g.emit(trace.Checkpoint, g.run.sink, "", int64(len(b)), float64(g.ckptSeq), "")
+}
+
+// completionFrontier returns the largest time T such that every window
+// ending at or before T has globally completed — batch-log entries behind it
+// are re-derivable from the checkpoint and safe to drop.
+func (g *jobGuard) completionFrontier() simtime.Time {
+	w := simtime.Time(g.run.job.Window)
+	var t simtime.Time
+	for g.completed[t] {
+		t += w
+	}
+	return t
+}
+
+func (g *jobGuard) buildCheckpoint() *resilience.Checkpoint {
+	ck := &resilience.Checkpoint{Seq: g.ckptSeq, At: g.e.Sched.Now()}
+	for i, s := range g.srcs {
+		ss := resilience.SourceState{Site: s.spec.Site, Index: i}
+		ss.Acked = g.currentAcked(i)
+		for _, ow := range s.agg.OpenSnapshot() {
+			ss.Open = append(ss.Open, resilience.WindowCells{
+				Start: ow.Window.Start, End: ow.Window.End, Cells: ow.Cells,
+			})
+		}
+		for _, start := range sortedTimes(g.inflight[i]) {
+			ss.Ledgers = append(ss.Ledgers, resilience.WindowLedger{
+				Start: start, Ledger: g.inflight[i][start].Ledger(),
+			})
+		}
+		ck.Sources = append(ck.Sources, ss)
+	}
+	ck.Sink.Site = g.run.sink
+	ck.Sink.Completed = sortedTimes(g.completed)
+	ck.Sink.Global = g.run.rep.Global.Snapshot()
+	for _, start := range sortedTimes(g.run.windows) {
+		ws := g.run.windows[start]
+		if g.completed[start] || ws.arrived == 0 {
+			continue
+		}
+		p := resilience.PartialWindow{Start: ws.window.Start, End: ws.window.End}
+		for idx := range ws.from {
+			p.Sources = append(p.Sources, idx)
+		}
+		sort.Ints(p.Sources)
+		p.Cells = ws.merged.Snapshot()
+		ck.Sink.Partial = append(ck.Sink.Partial, p)
+	}
+	return ck
+}
+
+// currentAcked lists the windows whose partial from source i the CURRENT
+// sink holds: completed windows plus checkpointable partial arrivals.
+func (g *jobGuard) currentAcked(i int) []simtime.Time {
+	set := make(map[simtime.Time]bool)
+	for start := range g.completed {
+		set[start] = true
+	}
+	for start, ws := range g.run.windows {
+		if ws.from[i] {
+			set[start] = true
+		}
+	}
+	return sortedTimes(set)
+}
+
+// decodeCkpt deserializes the latest checkpoint (nil when none was taken —
+// recovery then restores from nothing and replays the full retained log).
+func (g *jobGuard) decodeCkpt() *resilience.Checkpoint {
+	if g.lastCkpt == nil {
+		return nil
+	}
+	ck, err := resilience.DecodeCheckpoint(g.lastCkpt)
+	if err != nil {
+		// A corrupt checkpoint is equivalent to having none.
+		g.emit(trace.Checkpoint, g.run.sink, "", 0, 0, "decode failed: "+err.Error())
+		return nil
+	}
+	return ck
+}
+
+// ---- failure handling ------------------------------------------------------
+
+func (g *jobGuard) onTransition(site cloud.SiteID, from, to resilience.SiteState) {
+	if g.stopped {
+		return
+	}
+	switch {
+	case to == resilience.Dead:
+		g.onDead(site)
+	case to == resilience.Alive && from == resilience.Dead:
+		g.onRecover(site)
+	}
+}
+
+// onDead reacts to a site being declared dead: its operators' memory is
+// gone, its in-flight transfers are aborted, and if it hosted the sink the
+// meta-reducer fails over immediately.
+func (g *jobGuard) onDead(site cloud.SiteID) {
+	g.met.Failures++
+	if lat := g.det.DetectLatency(site); lat > g.met.DetectTime {
+		g.met.DetectTime = lat
+	}
+	g.e.Monitor.PauseSite(site)
+	g.emit(trace.SiteFail, site, "", 0, g.det.DetectLatency(site).Seconds(), "declared dead")
+	for i, s := range g.srcs {
+		if s.spec.Site != site {
+			continue
+		}
+		g.abortInflight(i)
+		// The site's operator memory is lost with it; recovery restores
+		// open windows from the last checkpoint.
+		s.agg = stream.NewWindowAggDense(g.run.job.Window, g.run.job.Agg, s.gen.Table())
+	}
+	if site == g.run.sink {
+		g.failover(site)
+	}
+}
+
+// abortInflight kills source i's live transfers, recording their progress:
+// whatever the last checkpoint did not capture becomes duplicate work when
+// the window is re-sent.
+func (g *jobGuard) abortInflight(i int) {
+	for _, start := range sortedTimes(g.inflight[i]) {
+		h := g.inflight[i][start]
+		done, _ := h.Progress()
+		g.aborted[i][start] = done
+		g.e.Mgr.Abort(h)
+		g.run.inflight--
+		delete(g.inflight[i], start)
+	}
+}
+
+// onRecover replays a returned source site back to consistency: operator
+// state restores from the checkpoint, interrupted transfers resume from
+// their checkpointed ledgers, un-acknowledged retained windows re-ship, and
+// the window closes deferred during downtime drain in order.
+func (g *jobGuard) onRecover(site cloud.SiteID) {
+	now := g.e.Sched.Now()
+	g.met.Recoveries++
+	g.e.Monitor.ResumeSite(site)
+	g.emit(trace.SiteRecover, site, "", 0, 0, "")
+	ck := g.decodeCkpt()
+	for i, s := range g.srcs {
+		if s.spec.Site != site {
+			continue
+		}
+		g.recoverSource(i, s, ck, now)
+	}
+}
+
+func (g *jobGuard) recoverSource(i int, s *sourceState, ck *resilience.Checkpoint, now simtime.Time) {
+	var ss *resilience.SourceState
+	if ck != nil {
+		for j := range ck.Sources {
+			if ck.Sources[j].Index == i {
+				ss = &ck.Sources[j]
+				break
+			}
+		}
+	}
+	ckAcked := make(map[simtime.Time]bool)
+	ckLed := make(map[simtime.Time]transfer.Ledger)
+	if ss != nil {
+		for _, w := range ss.Open {
+			s.agg.RestoreWindow(stream.Window{Start: w.Start, End: w.End}, w.Cells)
+		}
+		for _, t := range ss.Acked {
+			ckAcked[t] = true
+		}
+		for _, wl := range ss.Ledgers {
+			ckLed[wl.Start] = wl.Ledger
+		}
+	}
+	g.startRecovery(now)
+	// Replay every retained window the checkpoint does not prove delivered.
+	// The sink deduplicates re-deliveries; the re-sent bytes are the
+	// duplicate-work price of checkpoint staleness.
+	replay := append([]resilience.LoggedWindow(nil), g.log.Windows(i)...)
+	for _, lw := range replay {
+		start := lw.Window.Start
+		if ckAcked[start] {
+			continue
+		}
+		if led, ok := ckLed[start]; ok && led.To == g.run.sink {
+			// Resume the interrupted transfer from its last checkpointed
+			// acknowledgement; progress beyond the ledger is re-sent.
+			if wasted := g.aborted[i][start] - led.AckedBytes(); wasted > 0 {
+				g.met.DuplicateBytes += wasted
+			}
+			g.met.ResumedTransfers++
+			g.markRecovering(i, start)
+			g.met.ReplayedWindows++
+			g.met.ReplayedEvents += int64(lw.Events)
+			ledger := led
+			g.e.shipResume(g.run, s, rebuildClosed(g.run.job, lw), lw.Events, &ledger)
+		} else {
+			if wasted := g.aborted[i][start]; wasted > 0 {
+				g.met.DuplicateBytes += wasted
+			}
+			g.markRecovering(i, start)
+			g.met.ReplayedWindows++
+			g.met.ReplayedEvents += int64(lw.Events)
+			g.e.ship(g.run, s, rebuildClosed(g.run.job, lw), lw.Events)
+		}
+		delete(g.aborted[i], start)
+	}
+	clear(g.aborted[i])
+	// Drain the deferred window closes in order: event generation stays
+	// sequential, so the replayed stream is byte-identical to an unfailed
+	// run's.
+	ends := g.deferred[i]
+	g.deferred[i] = nil
+	for _, end := range ends {
+		g.met.ReplayedWindows++
+		g.markRecovering(i, end-simtime.Time(g.run.job.Window))
+		g.process(s, end)
+	}
+}
+
+// rebuildClosed reconstructs a shipped window partial from its batch-log
+// cells.
+func rebuildClosed(job JobSpec, lw resilience.LoggedWindow) stream.Closed {
+	agg := stream.NewKeyedAgg(job.Agg)
+	for _, c := range lw.Cells {
+		agg.RestoreCell(c)
+	}
+	return stream.Closed{Window: lw.Window, Agg: agg}
+}
+
+// ---- sink failover ---------------------------------------------------------
+
+// failover re-elects the meta-reducer after the sink site died: the
+// widest-path planner picks the site every source can still reach fastest,
+// sink state restores from the last checkpoint, and the alive sources
+// re-ship whatever the checkpoint cannot vouch for.
+func (g *jobGuard) failover(oldSink cloud.SiteID) {
+	now := g.e.Sched.Now()
+	run := g.run
+	// Everything in flight was heading to a dead receiver.
+	for i := range g.srcs {
+		g.abortInflight(i)
+	}
+	var sourceSites []cloud.SiteID
+	for _, s := range g.srcs {
+		sourceSites = append(sourceSites, s.spec.Site)
+	}
+	exclude := func(c cloud.SiteID) bool {
+		return c == oldSink || g.det.State(c) != resilience.Alive || !g.e.poolAlive(c)
+	}
+	newSink, ok := resilience.PlanFailover(g.e.routeGraph(), g.e.Net.Topology(), sourceSites, exclude)
+	if !ok {
+		g.emit(trace.Failover, oldSink, "", 0, 0, "no viable sink; stalling")
+		return
+	}
+	run.sink = newSink
+	g.det.Watch(newSink) // the replacement sink can fail too
+	g.met.Failovers++
+	g.emit(trace.Failover, oldSink, newSink, 0, 0, "meta-reducer re-elected")
+
+	// Restore the sink's merged state from the last checkpoint; whatever it
+	// misses is re-collected below.
+	ck := g.decodeCkpt()
+	global := stream.NewKeyedAgg(run.job.Agg)
+	completed := make(map[simtime.Time]bool)
+	run.windows = make(map[simtime.Time]*windowState)
+	if ck != nil {
+		for _, c := range ck.Sink.Global {
+			global.RestoreCell(c)
+		}
+		for _, t := range ck.Sink.Completed {
+			completed[t] = true
+		}
+		for _, p := range ck.Sink.Partial {
+			ws := &windowState{
+				window: stream.Window{Start: p.Start, End: p.End},
+				merged: stream.NewKeyedAgg(run.job.Agg),
+				from:   make(map[int]bool),
+			}
+			for _, c := range p.Cells {
+				ws.merged.RestoreCell(c)
+			}
+			for _, idx := range p.Sources {
+				ws.from[idx] = true
+			}
+			ws.arrived = len(p.Sources)
+			run.windows[p.Start] = ws
+		}
+	}
+	run.rep.Global = global
+	g.completed = completed
+
+	// Alive sources re-ship retained windows the checkpoint does not prove
+	// completed (a dead source replays on its own recovery).
+	g.startRecovery(now)
+	for i, s := range g.srcs {
+		if g.det.State(s.spec.Site) != resilience.Alive {
+			continue
+		}
+		replay := append([]resilience.LoggedWindow(nil), g.log.Windows(i)...)
+		for _, lw := range replay {
+			start := lw.Window.Start
+			if g.completed[start] {
+				continue
+			}
+			if ws := run.windows[start]; ws != nil && ws.from[i] {
+				continue // the checkpoint carried this partial across
+			}
+			if wasted := g.aborted[i][start]; wasted > 0 {
+				g.met.DuplicateBytes += wasted
+				delete(g.aborted[i], start)
+			}
+			g.markRecovering(i, start)
+			g.met.ReplayedWindows++
+			g.met.ReplayedEvents += int64(lw.Events)
+			g.e.ship(run, s, rebuildClosed(run.job, lw), lw.Events)
+		}
+	}
+}
+
+// ---- recovery-time measurement --------------------------------------------
+
+func (g *jobGuard) startRecovery(now simtime.Time) {
+	if !g.recoveryActive {
+		g.recoveryActive = true
+		g.recoveryStart = now
+	}
+}
+
+func (g *jobGuard) markRecovering(i int, start simtime.Time) {
+	g.recovering[i][start] = true
+}
+
+func (g *jobGuard) doneRecovering(i int, start simtime.Time) {
+	if !g.recoveryActive {
+		return
+	}
+	delete(g.recovering[i], start)
+	for j := range g.recovering {
+		if len(g.recovering[j]) > 0 {
+			return
+		}
+	}
+	g.recoveryActive = false
+	g.met.RecoveryTime += g.e.Sched.Now() - g.recoveryStart
+	g.emit(trace.SiteRecover, g.run.sink, "", 0,
+		(g.e.Sched.Now() - g.recoveryStart).Seconds(), "backlog drained")
+}
+
+// sortedTimes returns a map's simtime keys in ascending order.
+func sortedTimes[V any](m map[simtime.Time]V) []simtime.Time {
+	out := make([]simtime.Time, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -177,6 +177,25 @@ func (s *Service) Pause(from, to cloud.SiteID) { s.state(from, to).paused = true
 // Resume re-enables probing of a paused link.
 func (s *Service) Resume(from, to cloud.SiteID) { s.state(from, to).paused = false }
 
+// PauseSite suspends probing of every link that touches the site. The
+// resilience detector calls it when a site is declared dead: probing a dead
+// site wastes intrusiveness budget and would only feed the estimators
+// zeroes.
+func (s *Service) PauseSite(site cloud.SiteID) { s.setSitePaused(site, true) }
+
+// ResumeSite re-enables probing of every link that touches the site. Note it
+// also unpauses links individually paused via Pause; callers that interleave
+// per-link and per-site pausing must re-assert the per-link state.
+func (s *Service) ResumeSite(site cloud.SiteID) { s.setSitePaused(site, false) }
+
+func (s *Service) setSitePaused(site cloud.SiteID, paused bool) {
+	for _, k := range s.order {
+		if k.From == site || k.To == site {
+			s.links[k].paused = paused
+		}
+	}
+}
+
 func (s *Service) state(from, to cloud.SiteID) *LinkState {
 	st, ok := s.links[LinkKey{from, to}]
 	if !ok {

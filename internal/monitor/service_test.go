@@ -199,3 +199,34 @@ func TestServiceStartTwicePanics(t *testing.T) {
 	}()
 	s.Start()
 }
+
+func TestPauseSiteSuspendsAllTouchingLinks(t *testing.T) {
+	sched, net := testNet()
+	s := NewService(net, Options{Interval: 10 * time.Second})
+	s.Start()
+	sched.RunFor(35 * time.Second) // a few probe rounds
+	ab := s.State("A", "B").History.Total()
+	bc := s.State("B", "C").History.Total()
+	if ab == 0 || bc == 0 {
+		t.Fatal("no probes before pause")
+	}
+
+	// Pausing B freezes every link touching B — both directions.
+	s.PauseSite("B")
+	sched.RunFor(30 * time.Second)
+	if got := s.State("A", "B").History.Total(); got != ab {
+		t.Fatalf("A-B probed while B paused: %d -> %d", ab, got)
+	}
+	if got := s.State("B", "C").History.Total(); got != bc {
+		t.Fatalf("B-C probed while B paused: %d -> %d", bc, got)
+	}
+
+	s.ResumeSite("B")
+	sched.RunFor(30 * time.Second)
+	if got := s.State("A", "B").History.Total(); got <= ab {
+		t.Fatal("A-B probing did not resume")
+	}
+	if got := s.State("B", "C").History.Total(); got <= bc {
+		t.Fatal("B-C probing did not resume")
+	}
+}

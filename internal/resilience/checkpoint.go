@@ -1,0 +1,304 @@
+package resilience
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"sage/internal/cloud"
+	"sage/internal/simtime"
+	"sage/internal/stream"
+	"sage/internal/transfer"
+)
+
+// Checkpoint is a consistent snapshot of one job's distributed state at a
+// virtual-time instant: for every source site the windows it still holds and
+// the ledgers of its in-flight transfers, and for the sink the merged global
+// aggregate plus partially-merged windows. It serializes deterministically
+// (sorted keys, fixed-width fields, checksummed), so the same state always
+// produces the same bytes — the property the twice-run determinism suite
+// leans on.
+type Checkpoint struct {
+	// Seq numbers checkpoints of one job from 1; At is the snapshot time.
+	Seq int
+	At  simtime.Time
+	// Sources holds one entry per job source, in job-spec order.
+	Sources []SourceState
+	Sink    SinkState
+}
+
+// SourceState is the checkpointed state of one source-site operator.
+type SourceState struct {
+	Site cloud.SiteID
+	// Index is the source's slot in the job spec; it, not the site, is the
+	// identity (two sources may share a site).
+	Index int
+	// Acked lists window start times whose partials the sink acknowledged,
+	// sorted ascending.
+	Acked []simtime.Time
+	// Open are the operator's still-open window partials, sorted by start.
+	Open []WindowCells
+	// Ledgers snapshot in-flight transfers, sorted by window start.
+	Ledgers []WindowLedger
+}
+
+// WindowCells is one window's keyed-aggregate partial.
+type WindowCells struct {
+	Start, End simtime.Time
+	Cells      []stream.KeyCell
+}
+
+// WindowLedger pairs a window with the ledger of the transfer shipping it.
+type WindowLedger struct {
+	Start  simtime.Time
+	Ledger transfer.Ledger
+}
+
+// SinkState is the checkpointed state of the meta-reducer.
+type SinkState struct {
+	Site cloud.SiteID
+	// Completed lists window starts fully merged into Global, sorted.
+	Completed []simtime.Time
+	// Global is the job-lifetime merged aggregate.
+	Global []stream.KeyCell
+	// Partial holds windows with some but not all partials arrived, sorted
+	// by start.
+	Partial []PartialWindow
+}
+
+// PartialWindow is one partially-merged window at the sink.
+type PartialWindow struct {
+	Start, End simtime.Time
+	// Sources lists the job source indices whose partials arrived, sorted.
+	Sources []int
+	Cells   []stream.KeyCell
+}
+
+// checkpointMagic versions the encoding; bump on layout changes.
+const checkpointMagic = "SAGECP01"
+
+// Encode serializes the checkpoint. Encoding the same checkpoint twice
+// yields identical bytes; the trailer is an FNV-64a checksum over everything
+// before it.
+func (c *Checkpoint) Encode() []byte {
+	var e ckptEncoder
+	e.raw(checkpointMagic)
+	e.u64(uint64(c.Seq))
+	e.i64(int64(c.At))
+	e.u64(uint64(len(c.Sources)))
+	for i := range c.Sources {
+		s := &c.Sources[i]
+		e.str(string(s.Site))
+		e.u64(uint64(s.Index))
+		e.u64(uint64(len(s.Acked)))
+		for _, t := range s.Acked {
+			e.i64(int64(t))
+		}
+		e.u64(uint64(len(s.Open)))
+		for _, w := range s.Open {
+			e.i64(int64(w.Start))
+			e.i64(int64(w.End))
+			e.cells(w.Cells)
+		}
+		e.u64(uint64(len(s.Ledgers)))
+		for _, wl := range s.Ledgers {
+			e.i64(int64(wl.Start))
+			e.ledger(&wl.Ledger)
+		}
+	}
+	e.str(string(c.Sink.Site))
+	e.u64(uint64(len(c.Sink.Completed)))
+	for _, t := range c.Sink.Completed {
+		e.i64(int64(t))
+	}
+	e.cells(c.Sink.Global)
+	e.u64(uint64(len(c.Sink.Partial)))
+	for _, p := range c.Sink.Partial {
+		e.i64(int64(p.Start))
+		e.i64(int64(p.End))
+		e.u64(uint64(len(p.Sources)))
+		for _, idx := range p.Sources {
+			e.u64(uint64(idx))
+		}
+		e.cells(p.Cells)
+	}
+	h := fnv.New64a()
+	h.Write(e.buf)
+	e.u64(h.Sum64())
+	return e.buf
+}
+
+// DecodeCheckpoint parses bytes produced by Encode, verifying the magic and
+// checksum.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
+	if len(b) < len(checkpointMagic)+8 {
+		return nil, errors.New("resilience: checkpoint truncated")
+	}
+	if string(b[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, errors.New("resilience: bad checkpoint magic")
+	}
+	h := fnv.New64a()
+	h.Write(b[:len(b)-8])
+	if binary.BigEndian.Uint64(b[len(b)-8:]) != h.Sum64() {
+		return nil, errors.New("resilience: checkpoint checksum mismatch")
+	}
+	d := ckptDecoder{buf: b[:len(b)-8], off: len(checkpointMagic)}
+	c := &Checkpoint{}
+	c.Seq = int(d.u64())
+	c.At = simtime.Time(d.i64())
+	c.Sources = make([]SourceState, d.len())
+	for i := range c.Sources {
+		s := &c.Sources[i]
+		s.Site = cloud.SiteID(d.str())
+		s.Index = int(d.u64())
+		s.Acked = d.times()
+		s.Open = make([]WindowCells, d.len())
+		for j := range s.Open {
+			s.Open[j].Start = simtime.Time(d.i64())
+			s.Open[j].End = simtime.Time(d.i64())
+			s.Open[j].Cells = d.cells()
+		}
+		s.Ledgers = make([]WindowLedger, d.len())
+		for j := range s.Ledgers {
+			s.Ledgers[j].Start = simtime.Time(d.i64())
+			s.Ledgers[j].Ledger = d.ledger()
+		}
+	}
+	c.Sink.Site = cloud.SiteID(d.str())
+	c.Sink.Completed = d.times()
+	c.Sink.Global = d.cells()
+	c.Sink.Partial = make([]PartialWindow, d.len())
+	for i := range c.Sink.Partial {
+		p := &c.Sink.Partial[i]
+		p.Start = simtime.Time(d.i64())
+		p.End = simtime.Time(d.i64())
+		p.Sources = make([]int, d.len())
+		for j := range p.Sources {
+			p.Sources[j] = int(d.u64())
+		}
+		p.Cells = d.cells()
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("resilience: %d trailing checkpoint bytes", len(d.buf)-d.off)
+	}
+	return c, nil
+}
+
+// ckptEncoder appends fixed-width big-endian fields to a buffer.
+type ckptEncoder struct{ buf []byte }
+
+func (e *ckptEncoder) raw(s string)  { e.buf = append(e.buf, s...) }
+func (e *ckptEncoder) u64(v uint64)  { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *ckptEncoder) i64(v int64)   { e.u64(uint64(v)) }
+func (e *ckptEncoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *ckptEncoder) str(s string)  { e.u64(uint64(len(s))); e.raw(s) }
+
+func (e *ckptEncoder) cells(cs []stream.KeyCell) {
+	e.u64(uint64(len(cs)))
+	for _, c := range cs {
+		e.str(c.Key)
+		e.i64(c.Count)
+		e.f64(c.Sum)
+		e.f64(c.Min)
+		e.f64(c.Max)
+	}
+}
+
+func (e *ckptEncoder) ledger(l *transfer.Ledger) {
+	e.u64(l.TransferID)
+	e.str(string(l.From))
+	e.str(string(l.To))
+	e.i64(l.Size)
+	e.i64(l.ChunkBytes)
+	e.u64(uint64(len(l.Acked)))
+	for _, i := range l.Acked {
+		e.u64(uint64(i))
+	}
+}
+
+// ckptDecoder reads the encoder's fields back, sticky-erroring on underrun.
+type ckptDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *ckptDecoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.err = errors.New("resilience: checkpoint underrun")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *ckptDecoder) i64() int64   { return int64(d.u64()) }
+func (d *ckptDecoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// len reads a collection length, bounding it by the remaining bytes so a
+// corrupt length cannot force a huge allocation.
+func (d *ckptDecoder) len() int {
+	n := d.u64()
+	if d.err == nil && n > uint64(len(d.buf)-d.off) {
+		d.err = errors.New("resilience: checkpoint length field out of range")
+		return 0
+	}
+	return int(n)
+}
+
+func (d *ckptDecoder) str() string {
+	n := d.len()
+	if d.err != nil {
+		return ""
+	}
+	if d.off+n > len(d.buf) {
+		d.err = errors.New("resilience: checkpoint underrun")
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *ckptDecoder) times() []simtime.Time {
+	out := make([]simtime.Time, d.len())
+	for i := range out {
+		out[i] = simtime.Time(d.i64())
+	}
+	return out
+}
+
+func (d *ckptDecoder) cells() []stream.KeyCell {
+	out := make([]stream.KeyCell, d.len())
+	for i := range out {
+		out[i].Key = d.str()
+		out[i].Count = d.i64()
+		out[i].Sum = d.f64()
+		out[i].Min = d.f64()
+		out[i].Max = d.f64()
+	}
+	return out
+}
+
+func (d *ckptDecoder) ledger() transfer.Ledger {
+	var l transfer.Ledger
+	l.TransferID = d.u64()
+	l.From = cloud.SiteID(d.str())
+	l.To = cloud.SiteID(d.str())
+	l.Size = d.i64()
+	l.ChunkBytes = d.i64()
+	l.Acked = make([]int, d.len())
+	for i := range l.Acked {
+		l.Acked[i] = int(d.u64())
+	}
+	return l
+}

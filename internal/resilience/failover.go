@@ -1,0 +1,56 @@
+package resilience
+
+import (
+	"math"
+
+	"sage/internal/cloud"
+	"sage/internal/route"
+)
+
+// PlanFailover elects the replacement meta-reducer after a sink failure.
+// Candidates are every topology site the exclude predicate admits (callers
+// exclude the dead sink, sites the detector distrusts, and sites without a
+// deployment). The winner maximizes the worst-case widest-path bottleneck
+// from the job's sources — the site every source can still reach fastest —
+// with ties broken toward cheaper egress pricing (more headroom under the
+// remaining budget) and then lexicographic site ID for determinism.
+func PlanFailover(g *route.Graph, topo *cloud.Topology, sources []cloud.SiteID, exclude func(cloud.SiteID) bool) (cloud.SiteID, bool) {
+	var (
+		best       cloud.SiteID
+		found      bool
+		bestScore  float64
+		bestEgress float64
+	)
+	for _, cand := range topo.SiteIDs() {
+		if exclude != nil && exclude(cand) {
+			continue
+		}
+		score := math.Inf(1)
+		reachable := true
+		for _, src := range sources {
+			if src == cand {
+				continue // co-located partials merge locally, no WAN hop
+			}
+			p, ok := g.WidestPath(src, cand)
+			if !ok {
+				reachable = false
+				break
+			}
+			if p.Bottleneck < score {
+				score = p.Bottleneck
+			}
+		}
+		if !reachable {
+			continue
+		}
+		eg := topo.Site(cand).EgressPerGB
+		better := !found ||
+			score > bestScore ||
+			(score == bestScore && eg < bestEgress) ||
+			(score == bestScore && eg == bestEgress && cand < best)
+		if better {
+			best, bestScore, bestEgress, found = cand, score, eg, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,306 @@
+package resilience
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/route"
+	"sage/internal/simtime"
+	"sage/internal/stream"
+	"sage/internal/transfer"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.WithDefaults()
+	if cfg.HeartbeatInterval <= 0 || cfg.SuspectMisses <= 0 || cfg.DeadMisses <= cfg.SuspectMisses {
+		t.Fatalf("bad defaults: %+v", cfg)
+	}
+	// Explicit values survive; DeadMisses is forced above SuspectMisses.
+	cfg = Config{SuspectMisses: 5, DeadMisses: 2}.WithDefaults()
+	if cfg.DeadMisses <= cfg.SuspectMisses {
+		t.Fatalf("DeadMisses %d not forced above SuspectMisses %d", cfg.DeadMisses, cfg.SuspectMisses)
+	}
+}
+
+func TestDetectorTransitions(t *testing.T) {
+	sched := simtime.New()
+	up := map[cloud.SiteID]bool{"A": true, "B": true}
+	var events []string
+	d := NewDetector(sched, func(s cloud.SiteID) bool { return up[s] }, Config{
+		HeartbeatInterval: 5 * time.Second,
+		SuspectMisses:     1,
+		DeadMisses:        2,
+	})
+	d.Watch("A")
+	d.Watch("B")
+	d.Watch("A") // idempotent
+	d.OnTransition(func(site cloud.SiteID, from, to SiteState) {
+		events = append(events, string(site)+":"+from.String()+"->"+to.String())
+	})
+	d.Start()
+	d.Start() // idempotent
+
+	sched.RunFor(12 * time.Second) // polls at 5s, 10s — all alive
+	if len(events) != 0 {
+		t.Fatalf("healthy sites transitioned: %v", events)
+	}
+	if d.State("A") != Alive || d.State("unwatched") != Alive {
+		t.Fatal("expected Alive verdicts")
+	}
+
+	up["A"] = false
+	sched.RunFor(5 * time.Second) // poll at 15s: first miss -> Suspect
+	if d.State("A") != Suspect {
+		t.Fatalf("state after one miss = %v, want suspect", d.State("A"))
+	}
+	sched.RunFor(5 * time.Second) // poll at 20s: second miss -> Dead
+	if d.State("A") != Dead {
+		t.Fatalf("state after two misses = %v, want dead", d.State("A"))
+	}
+	// Failure happened at most one interval before the first miss: the
+	// modeled latency is (secondMiss - firstMiss) + interval = 10s.
+	if got := d.DetectLatency("A"); got != 10*time.Second {
+		t.Fatalf("detect latency = %v, want 10s", got)
+	}
+	if d.State("B") != Alive {
+		t.Fatal("B should be unaffected")
+	}
+
+	up["A"] = true
+	sched.RunFor(5 * time.Second) // poll at 25s: back alive
+	if d.State("A") != Alive {
+		t.Fatalf("state after recovery = %v, want alive", d.State("A"))
+	}
+	want := []string{"A:alive->suspect", "A:suspect->dead", "A:dead->alive"}
+	if len(events) != len(want) {
+		t.Fatalf("transitions = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q", i, events[i], want[i])
+		}
+	}
+
+	// The heartbeat history records the misses as zero-valued samples.
+	h := d.History("A")
+	if h == nil {
+		t.Fatal("no history for watched site")
+	}
+	samples := h.Samples()
+	zeros := 0
+	for _, s := range samples {
+		if s.Value == 0 {
+			zeros++
+		}
+	}
+	if zeros != 2 {
+		t.Fatalf("history records %d misses, want 2", zeros)
+	}
+	if d.History("unwatched") != nil {
+		t.Fatal("unwatched site has history")
+	}
+
+	d.Stop()
+	before := sched.Fired()
+	sched.RunFor(time.Minute)
+	if sched.Fired() != before {
+		t.Fatal("stopped detector still polling")
+	}
+}
+
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Seq: 7,
+		At:  simtime.Time(90 * time.Second),
+		Sources: []SourceState{
+			{
+				Site:  "NEU",
+				Index: 0,
+				Acked: []simtime.Time{0, simtime.Time(30 * time.Second)},
+				Open: []WindowCells{{
+					Start: simtime.Time(60 * time.Second),
+					End:   simtime.Time(90 * time.Second),
+					Cells: []stream.KeyCell{
+						{Key: "k1", Count: 3, Sum: 4.5, Min: 1, Max: 2},
+						{Key: "k2", Count: 1, Sum: 9, Min: 9, Max: 9},
+					},
+				}},
+				Ledgers: []WindowLedger{{
+					Start: simtime.Time(30 * time.Second),
+					Ledger: transfer.Ledger{
+						TransferID: 42, From: "NEU", To: "NUS",
+						Size: 1 << 20, ChunkBytes: 1 << 18,
+						Acked: []int{0, 1, 3},
+					},
+				}},
+			},
+			{Site: "WEU", Index: 1},
+		},
+		Sink: SinkState{
+			Site:      "NUS",
+			Completed: []simtime.Time{0},
+			Global:    []stream.KeyCell{{Key: "k1", Count: 10, Sum: 20, Min: 0.5, Max: 5}},
+			Partial: []PartialWindow{{
+				Start:   simtime.Time(30 * time.Second),
+				End:     simtime.Time(60 * time.Second),
+				Sources: []int{1},
+				Cells:   []stream.KeyCell{{Key: "k3", Count: 2, Sum: 2, Min: 1, Max: 1}},
+			}},
+		},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ck := sampleCheckpoint()
+	b := ck.Encode()
+	got, err := DecodeCheckpoint(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != ck.Seq || got.At != ck.At {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	b2 := got.Encode()
+	if !bytes.Equal(b, b2) {
+		t.Fatal("decode->encode is not the identity")
+	}
+	// Deterministic serialization: encoding the same state twice is
+	// byte-identical.
+	if !bytes.Equal(ck.Encode(), ck.Encode()) {
+		t.Fatal("double encode differs")
+	}
+	if got.Sources[0].Ledgers[0].Ledger.TransferID != 42 {
+		t.Fatalf("ledger lost: %+v", got.Sources[0].Ledgers)
+	}
+	if len(got.Sink.Partial) != 1 || got.Sink.Partial[0].Sources[0] != 1 {
+		t.Fatalf("sink partial lost: %+v", got.Sink.Partial)
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	b := sampleCheckpoint().Encode()
+	if _, err := DecodeCheckpoint(b[:10]); err == nil {
+		t.Fatal("truncated checkpoint decoded")
+	}
+	flip := append([]byte(nil), b...)
+	flip[len(flip)/2] ^= 0xff
+	if _, err := DecodeCheckpoint(flip); err == nil {
+		t.Fatal("bit-flipped checkpoint decoded")
+	}
+	bad := append([]byte(nil), b...)
+	copy(bad, "NOTMAGIC")
+	if _, err := DecodeCheckpoint(bad); err == nil {
+		t.Fatal("wrong magic decoded")
+	}
+}
+
+func TestBatchLogRetentionAndTrim(t *testing.T) {
+	l := NewBatchLog(3)
+	win := func(i int) LoggedWindow {
+		return LoggedWindow{
+			Window: stream.Window{
+				Start: simtime.Time(i) * simtime.Time(30*time.Second),
+				End:   simtime.Time(i+1) * simtime.Time(30*time.Second),
+			},
+			Events: 10 * (i + 1),
+		}
+	}
+	for i := 0; i < 5; i++ {
+		l.Append(0, win(i))
+	}
+	if l.Len(0) != 3 {
+		t.Fatalf("len = %d, want 3 after retention", l.Len(0))
+	}
+	if l.Evicted(0) != 2 {
+		t.Fatalf("evicted = %d, want 2", l.Evicted(0))
+	}
+	if _, ok := l.Get(0, win(1).Window.Start); ok {
+		t.Fatal("evicted window still retrievable")
+	}
+	if w, ok := l.Get(0, win(3).Window.Start); !ok || w.Events != 40 {
+		t.Fatalf("retained window lost: %+v %v", w, ok)
+	}
+	// Trim behind a checkpoint frontier.
+	l.TrimThrough(0, win(3).Window.End)
+	if l.Len(0) != 1 {
+		t.Fatalf("len after trim = %d, want 1", l.Len(0))
+	}
+	if l.Evicted(0) != 2 {
+		t.Fatal("trim must not count as eviction")
+	}
+	// Unlimited retention never evicts.
+	u := NewBatchLog(0)
+	for i := 0; i < 100; i++ {
+		u.Append(1, win(i))
+	}
+	if u.Len(1) != 100 || u.Evicted(1) != 0 {
+		t.Fatalf("unlimited log: len %d evicted %d", u.Len(1), u.Evicted(1))
+	}
+}
+
+func TestPlanFailoverPicksWidestReachable(t *testing.T) {
+	topo := cloud.DefaultAzure()
+	sites := topo.SiteIDs()
+	// Graph where NUS is best-connected, SUS second.
+	g := route.GraphFromEstimates(sites, func(from, to cloud.SiteID) float64 {
+		if from == to {
+			return 1000
+		}
+		l := topo.Link(from, to)
+		if l == nil {
+			return 0
+		}
+		return l.BaseMBps
+	})
+	sources := []cloud.SiteID{cloud.NorthEU, cloud.WestEU}
+
+	dead := cloud.NorthUS
+	got, ok := PlanFailover(g, topo, sources, func(c cloud.SiteID) bool { return c == dead })
+	if !ok {
+		t.Fatal("no failover candidate in a healthy topology")
+	}
+	if got == dead {
+		t.Fatal("planner picked the excluded dead sink")
+	}
+	// The winner must beat (or tie) every other admissible candidate's
+	// worst-case source bottleneck.
+	score := func(cand cloud.SiteID) float64 {
+		s := 1e18
+		for _, src := range sources {
+			if src == cand {
+				continue
+			}
+			p, ok := g.WidestPath(src, cand)
+			if !ok {
+				return -1
+			}
+			if p.Bottleneck < s {
+				s = p.Bottleneck
+			}
+		}
+		return s
+	}
+	for _, cand := range sites {
+		if cand == dead {
+			continue
+		}
+		if score(cand) > score(got) {
+			t.Fatalf("candidate %s scores %.1f > winner %s %.1f", cand, score(cand), got, score(got))
+		}
+	}
+
+	// A source site itself is a valid sink (no WAN hop for its own partials).
+	got2, ok := PlanFailover(g, topo, []cloud.SiteID{cloud.NorthEU}, func(c cloud.SiteID) bool {
+		return c != cloud.NorthEU
+	})
+	if !ok || got2 != cloud.NorthEU {
+		t.Fatalf("co-located failover = %v %v, want NEU", got2, ok)
+	}
+
+	// Everything excluded: no candidate.
+	if _, ok := PlanFailover(g, topo, sources, func(cloud.SiteID) bool { return true }); ok {
+		t.Fatal("planner invented a candidate")
+	}
+}

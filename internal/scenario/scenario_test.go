@@ -186,3 +186,72 @@ func TestScenarioDeterminism(t *testing.T) {
 		t.Fatalf("non-deterministic scenario: %v vs %v", a, b)
 	}
 }
+
+const resilientJobJSON = `{
+  "name": "resilient-demo",
+  "seed": 9,
+  "workers": {"Medium": 6},
+  "warmup": "1m",
+  "job": {
+    "sources": [
+      {"site": "NEU", "rate": 200},
+      {"site": "WEU", "rate": 200}
+    ],
+    "sink": "NUS",
+    "window": "30s",
+    "agg": "mean",
+    "strategy": "envaware",
+    "lanes": 2,
+    "intrusiveness": 1,
+    "duration": "5m",
+    "checkpoint_interval": "30s"
+  },
+  "injections": [
+    {"at": "65s", "kind": "kill_site", "from": "NEU"},
+    {"at": "125s", "kind": "restore_site", "from": "NEU"}
+  ]
+}`
+
+func TestSiteInjectionKindsValidate(t *testing.T) {
+	if _, err := Load(strings.NewReader(resilientJobJSON)); err != nil {
+		t.Fatal(err)
+	}
+	// Site-level injections without a site are rejected.
+	bad := `{"name":"x","gather":{"sites":["NEU"],"files":1,"file_bytes":1,"sink":"NUS","strategy":"envaware"},"injections":[{"at":"1s","kind":"kill_site"}]}`
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Fatal("kill_site without a site accepted")
+	}
+}
+
+func TestRunResilientScenarioRecoversOutage(t *testing.T) {
+	s, err := Load(strings.NewReader(resilientJobJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := res.Report.Resilience
+	if rm == nil {
+		t.Fatal("checkpoint_interval did not enable resilience")
+	}
+	if rm.Failures < 1 || rm.Recoveries < 1 {
+		t.Fatalf("outage not detected/recovered: %+v", rm)
+	}
+	if rm.Checkpoints == 0 {
+		t.Fatal("no checkpoints taken")
+	}
+	if res.Report.Incomplete != 0 {
+		t.Fatalf("%d windows incomplete after recovery", res.Report.Incomplete)
+	}
+}
+
+func TestApplyInjectionPanicsOnUnhandledKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unhandled injection kind must panic")
+		}
+	}()
+	applyInjection(nil, Injection{Kind: "meteor"})
+}

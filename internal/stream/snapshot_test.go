@@ -1,0 +1,134 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"sage/internal/simtime"
+)
+
+// These tests cover the snapshot/restore surface the resilience subsystem
+// checkpoints through: KeyedAgg cells and WindowAgg open-window state.
+
+func TestKeyedAggSnapshotRestoreRoundTrip(t *testing.T) {
+	for _, kind := range []AggKind{Count, Sum, Mean, Min, Max} {
+		a := NewKeyedAgg(kind)
+		a.Add(Event{Key: "b", Value: 2})
+		a.Add(Event{Key: "a", Value: 5})
+		a.Add(Event{Key: "b", Value: 8})
+		snap := a.Snapshot()
+		// Sorted by key for deterministic serialization.
+		for i := 1; i < len(snap); i++ {
+			if snap[i-1].Key >= snap[i].Key {
+				t.Fatalf("%v: snapshot not key-sorted: %+v", kind, snap)
+			}
+		}
+		b := NewKeyedAgg(kind)
+		for _, c := range snap {
+			b.RestoreCell(c)
+		}
+		want, got := a.Result(), b.Result()
+		if len(want) != len(got) {
+			t.Fatalf("%v: restored %d keys, want %d", kind, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%v: restored %+v, want %+v", kind, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestKeyedAggSnapshotCoversDenseCells(t *testing.T) {
+	tb := NewKeyTable()
+	id := tb.Intern("hot")
+	a := NewKeyedAggDense(Sum, tb)
+	a.Add(Event{Key: "hot", KeyID: id, Value: 3})
+	a.Add(Event{Key: "cold", Value: 4}) // un-interned: map path
+	snap := a.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %+v, want both dense and map cells", snap)
+	}
+	b := NewKeyedAgg(Sum)
+	for _, c := range snap {
+		b.RestoreCell(c)
+	}
+	if got := b.Result(); len(got) != 2 {
+		t.Fatalf("restore lost cells: %+v", got)
+	}
+}
+
+func TestRestoreCellMergesIntoExisting(t *testing.T) {
+	a := NewKeyedAgg(Sum)
+	a.Add(Event{Key: "k", Value: 1})
+	a.RestoreCell(KeyCell{Key: "k", Count: 2, Sum: 9, Min: 4, Max: 5})
+	res := a.Result()
+	if len(res) != 1 || res[0].Value != 10 {
+		t.Fatalf("merge-restore = %+v, want sum 10", res)
+	}
+}
+
+func TestWindowAggOpenSnapshotRestore(t *testing.T) {
+	width := 30 * time.Second
+	w := NewWindowAgg(width, Mean)
+	at := func(d time.Duration) simtime.Time { return simtime.Time(d) }
+	w.Add(Event{Key: "x", Value: 2, Time: at(5 * time.Second)})
+	w.Add(Event{Key: "y", Value: 4, Time: at(40 * time.Second)})
+	w.Add(Event{Key: "x", Value: 6, Time: at(41 * time.Second)})
+
+	snap := w.OpenSnapshot()
+	if len(snap) != 2 {
+		t.Fatalf("open windows = %d, want 2", len(snap))
+	}
+	if snap[0].Window.Start >= snap[1].Window.Start {
+		t.Fatalf("open snapshot not start-sorted: %+v", snap)
+	}
+
+	// Rebuild a fresh aggregator from the snapshot: closing both windows
+	// must reproduce the original contents.
+	r := NewWindowAgg(width, Mean)
+	for _, ow := range snap {
+		r.RestoreWindow(ow.Window, ow.Cells)
+	}
+	orig := w.Advance(at(time.Minute))
+	rest := r.Advance(at(time.Minute))
+	if len(orig) != len(rest) {
+		t.Fatalf("closed %d windows, want %d", len(rest), len(orig))
+	}
+	for i := range orig {
+		ow, rw := orig[i].Agg.Result(), rest[i].Agg.Result()
+		if len(ow) != len(rw) {
+			t.Fatalf("window %d keys: %d vs %d", i, len(rw), len(ow))
+		}
+		for j := range ow {
+			if ow[j] != rw[j] {
+				t.Fatalf("window %d cell %d = %+v, want %+v", i, j, rw[j], ow[j])
+			}
+		}
+	}
+
+	// The snapshot is a deep copy: mutating the source afterwards must not
+	// leak into a snapshot taken earlier.
+	w2 := NewWindowAgg(width, Sum)
+	w2.Add(Event{Key: "k", Value: 1, Time: at(time.Second)})
+	snap2 := w2.OpenSnapshot()
+	w2.Add(Event{Key: "k", Value: 100, Time: at(2 * time.Second)})
+	if snap2[0].Cells[0].Sum != 1 {
+		t.Fatalf("snapshot aliased live state: %+v", snap2[0].Cells)
+	}
+}
+
+func TestRestoreWindowMergesIntoOpenWindow(t *testing.T) {
+	width := 30 * time.Second
+	w := NewWindowAgg(width, Sum)
+	w.Add(Event{Key: "k", Value: 1, Time: simtime.Time(time.Second)})
+	w.RestoreWindow(Window{Start: 0, End: simtime.Time(width)},
+		[]KeyCell{{Key: "k", Count: 1, Sum: 5, Min: 5, Max: 5}})
+	closed := w.Advance(simtime.Time(width))
+	if len(closed) != 1 {
+		t.Fatalf("closed = %d windows", len(closed))
+	}
+	if res := closed[0].Agg.Result(); len(res) != 1 || res[0].Value != 6 {
+		t.Fatalf("restore-merge = %+v, want sum 6", res)
+	}
+}

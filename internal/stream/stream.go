@@ -383,6 +383,43 @@ func (a *KeyedAgg) SerializedBytes() int64 {
 	return n
 }
 
+// KeyCell is one key's raw accumulator state — the unit of operator-state
+// snapshot and restore used by the resilience subsystem. Unlike KV it carries
+// all four accumulator fields, so a restored aggregate keeps merging exactly
+// as the original would have.
+type KeyCell struct {
+	Key   string
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Snapshot returns every key's raw accumulator, sorted by key. The result is
+// independent of the aggregate's storage (dense vs map) and of insertion
+// order, so it serializes deterministically.
+func (a *KeyedAgg) Snapshot() []KeyCell {
+	out := make([]KeyCell, 0, a.live+len(a.cells))
+	for id := 1; id < len(a.dense); id++ {
+		c := &a.dense[id]
+		if c.count == 0 {
+			continue
+		}
+		out = append(out, KeyCell{Key: a.table.Key(id), Count: c.count, Sum: c.sum, Min: c.min, Max: c.max})
+	}
+	for k, c := range a.cells {
+		out = append(out, KeyCell{Key: k, Count: c.count, Sum: c.sum, Min: c.min, Max: c.max})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// RestoreCell folds one snapshot cell back in, as if the cell's original
+// events had been merged here. Restoring into a non-empty aggregate merges.
+func (a *KeyedAgg) RestoreCell(kc KeyCell) {
+	a.mergeCell(kc.Key, &cell{count: kc.Count, sum: kc.Sum, min: kc.Min, max: kc.Max})
+}
+
 // Window is a half-open event-time interval [Start, End).
 type Window struct {
 	Start, End simtime.Time
@@ -492,6 +529,49 @@ func (w *WindowAgg) Add(e Event) {
 
 // Open returns the number of windows not yet closed.
 func (w *WindowAgg) Open() int { return len(w.open) }
+
+// OpenWindow is one still-open window's snapshotted accumulator state.
+type OpenWindow struct {
+	Window Window
+	Cells  []KeyCell
+}
+
+// OpenSnapshot returns the still-open windows with their accumulator cells,
+// sorted by window start — the checkpointable portion of a site operator's
+// state. The cells are deep copies; mutating them does not touch the live
+// aggregates.
+func (w *WindowAgg) OpenSnapshot() []OpenWindow {
+	starts := make([]simtime.Time, 0, len(w.open))
+	for s := range w.open {
+		starts = append(starts, s)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	out := make([]OpenWindow, 0, len(starts))
+	for _, s := range starts {
+		out = append(out, OpenWindow{
+			Window: Window{Start: s, End: s + simtime.Time(w.Width)},
+			Cells:  w.open[s].Snapshot(),
+		})
+	}
+	return out
+}
+
+// RestoreWindow re-opens a window and folds the snapshot cells into it —
+// the inverse of OpenSnapshot, used when recovering an operator from a
+// checkpoint. Restoring into an already-open window merges.
+func (w *WindowAgg) RestoreWindow(win Window, cells []KeyCell) {
+	agg := w.open[win.Start]
+	if agg == nil {
+		agg = w.newAgg()
+		w.open[win.Start] = agg
+	}
+	for _, kc := range cells {
+		agg.RestoreCell(kc)
+	}
+	// Drop the last-window cache: it may alias a pooled aggregate that the
+	// restore path just brought back, and a stale hit would corrupt state.
+	w.lastAgg = nil
+}
 
 // Closed is an emitted window partial.
 type Closed struct {

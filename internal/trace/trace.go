@@ -27,6 +27,13 @@ const (
 	WindowComplete Kind = "window_complete"
 	Injection      Kind = "injection"
 	ProbeSample    Kind = "probe"
+
+	// Resilience-subsystem kinds: site failure detection, recovery,
+	// checkpoint persistence and meta-reducer (sink) failover.
+	SiteFail    Kind = "site_fail"
+	SiteRecover Kind = "site_recover"
+	Checkpoint  Kind = "checkpoint"
+	Failover    Kind = "failover"
 )
 
 // Event is one timeline record. Fields beyond Kind and At are free-form but

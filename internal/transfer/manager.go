@@ -92,6 +92,41 @@ type Request struct {
 	// knob for transfers that must not starve the application's own
 	// traffic beyond the per-VM intrusiveness limit.
 	MaxMBps float64
+	// Resume, when non-nil, restarts an interrupted transfer from its
+	// ledger: the original transfer ID and chunking are reused (so re-sent
+	// chunks hash identically and stay idempotent at the receiver) and
+	// chunks the ledger records as acknowledged are not re-sent. From, To
+	// and Size must match the ledger.
+	Resume *Ledger
+}
+
+// Ledger is the durable acknowledgement state of a transfer — enough to
+// resume it after a failure without re-sending what the destination already
+// acknowledged. The resilience subsystem checkpoints ledgers of in-flight
+// transfers; chunk-level dedup by FNV hash covers whatever the ledger is too
+// stale to know about.
+type Ledger struct {
+	// TransferID is reused on resume so chunk hashes match the original.
+	TransferID uint64
+	From, To   cloud.SiteID
+	// Size and ChunkBytes pin the chunking so indices line up on resume.
+	Size       int64
+	ChunkBytes int64
+	// Acked lists acknowledged chunk indices, sorted ascending.
+	Acked []int
+}
+
+// AckedBytes returns the byte count the ledger records as delivered.
+func (l *Ledger) AckedBytes() int64 {
+	var n int64
+	for _, i := range l.Acked {
+		sz := l.ChunkBytes
+		if rem := l.Size - int64(i)*l.ChunkBytes; rem < sz {
+			sz = rem
+		}
+		n += sz
+	}
+	return n
 }
 
 // Result reports a finished transfer.
@@ -114,6 +149,9 @@ type Result struct {
 	// Acks, Duplicates, Retransmits, Timeouts, Replans are reliability
 	// counters.
 	Acks, Duplicates, Retransmits, Timeouts, Replans int
+	// SkippedBytes counts chunk bytes a resumed transfer did not re-send
+	// because its ledger already recorded them as acknowledged.
+	SkippedBytes int64
 }
 
 // Options configures a Manager.
@@ -256,6 +294,41 @@ func (h *Handle) Progress() (done, total int64) {
 // Done reports whether the transfer has completed.
 func (h *Handle) Done() bool { return h.run.finished }
 
+// Ledger snapshots the transfer's acknowledgement state for later
+// resumption. The snapshot is valid whether the transfer is in flight,
+// aborted or finished; Acked is sorted for deterministic serialization.
+func (h *Handle) Ledger() Ledger {
+	t := h.run
+	acked := append([]int(nil), t.ackedIdx...)
+	sort.Ints(acked)
+	return Ledger{
+		TransferID: t.id,
+		From:       t.req.From,
+		To:         t.req.To,
+		Size:       t.req.Size,
+		ChunkBytes: t.chunkBytes,
+		Acked:      acked,
+	}
+}
+
+// Abort cancels an in-progress transfer: in-flight flows are killed, queued
+// chunks are dropped, the replan ticker stops and onDone never fires. The
+// handle's Ledger remains readable so the transfer can be resumed later.
+// Aborting a finished transfer is a no-op.
+func (m *Manager) Abort(h *Handle) {
+	t := h.run
+	if t.finished {
+		return
+	}
+	t.finished = true
+	if t.replanTick != nil {
+		t.replanTick.Stop()
+	}
+	for _, l := range t.lanes {
+		l.abort()
+	}
+}
+
 // errNoPool is wrapped by Transfer when a required site has no deployment.
 var errNoPool = errors.New("transfer: missing deployment")
 
@@ -287,22 +360,65 @@ func (m *Manager) Transfer(req Request, onDone func(Result)) (*Handle, error) {
 	t := &transferRun{
 		m:      m,
 		req:    req,
-		id:     m.nextID,
 		onDone: onDone,
 		seen:   make(map[uint64]bool),
 		nodes:  make(map[string]*netsim.Node),
 		egress: make(map[cloud.SiteID]int64),
 	}
-	m.nextID++
+	if req.Resume != nil {
+		if req.Resume.From != req.From || req.Resume.To != req.To || req.Resume.Size != req.Size {
+			return nil, errors.New("transfer: resume ledger does not match request")
+		}
+		// Reuse the interrupted transfer's identity so re-sent chunks hash
+		// identically: the receiver's dedup makes the overlap idempotent.
+		t.id = req.Resume.TransferID
+	} else {
+		t.id = m.nextID
+		m.nextID++
+	}
 	chunkBytes := m.opt.ChunkBytes
 	if req.ChunkBytes > 0 {
 		chunkBytes = req.ChunkBytes
 	}
+	if req.Resume != nil && req.Resume.ChunkBytes > 0 {
+		chunkBytes = req.Resume.ChunkBytes
+	}
+	t.chunkBytes = chunkBytes
 	t.pending = splitChunks(t.id, req.Size, chunkBytes)
 	t.stats.Chunks = len(t.pending)
 	t.stats.Strategy = req.Strategy
 	t.stats.From, t.stats.To = req.From, req.To
+	if req.Resume != nil {
+		skip := make(map[int]bool, len(req.Resume.Acked))
+		for _, i := range req.Resume.Acked {
+			if i < 0 || i >= t.stats.Chunks {
+				return nil, fmt.Errorf("transfer: resume ledger chunk %d out of range", i)
+			}
+			skip[i] = true
+		}
+		kept := t.pending[:0]
+		for _, c := range t.pending {
+			if !skip[c.index] {
+				kept = append(kept, c)
+				continue
+			}
+			t.seen[c.hash] = true
+			t.ackedIdx = append(t.ackedIdx, c.index)
+			t.ackedCount++
+			t.ackedBytes += c.size
+			t.stats.SkippedBytes += c.size
+		}
+		t.pending = kept
+	}
 	t.started = m.sched.Now()
+	if t.ackedCount == t.stats.Chunks {
+		// Every chunk was already acknowledged before the interruption.
+		// Complete asynchronously so the Handle is returned before onDone
+		// fires, matching the normal callback ordering.
+		m.emit(trace.TransferStart, req.From, req.To, req.Size, 0, req.Strategy.String())
+		m.sched.After(0, t.finish)
+		return &Handle{run: t}, nil
+	}
 	if err := t.plan(); err != nil {
 		return nil, err
 	}
@@ -337,9 +453,11 @@ type transferRun struct {
 	lanes      []*lane
 	laneSeq    int
 	rr         int // round-robin cursor for ParallelStatic
+	chunkBytes int64
 	seen       map[uint64]bool
 	ackedCount int
 	ackedBytes int64
+	ackedIdx   []int // acknowledged chunk indices, in ack order
 	nodes      map[string]*netsim.Node
 	egress     map[cloud.SiteID]int64
 	stats      Result
@@ -565,6 +683,7 @@ func (t *transferRun) acked(c *chunk) {
 	t.seen[c.hash] = true
 	t.ackedCount++
 	t.ackedBytes += c.size
+	t.ackedIdx = append(t.ackedIdx, c.index)
 	if t.ackedCount == t.stats.Chunks {
 		t.finish()
 	}
@@ -596,6 +715,12 @@ func (t *transferRun) replan() {
 
 // finish completes the transfer and reports the result.
 func (t *transferRun) finish() {
+	if t.finished {
+		// Aborted between the last ack (or a scheduled all-skipped
+		// completion) and this call: the owner gave up on the transfer, so
+		// onDone must not fire.
+		return
+	}
 	t.finished = true
 	if t.replanTick != nil {
 		t.replanTick.Stop()
