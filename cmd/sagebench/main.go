@@ -13,7 +13,7 @@
 //	sagebench -exp 3
 //	sagebench -quick -seed 7
 //	sagebench -exp 9 -csv > f9.csv
-//	sagebench -perf                       # rewrites BENCH_netsim.json + BENCH_stream.json
+//	sagebench -perf                       # rewrites BENCH_netsim.json + BENCH_stream.json + BENCH_obs.json
 //	sagebench -quick -cpuprofile cpu.out  # profile the whole quick suite
 package main
 
@@ -35,9 +35,10 @@ func main() {
 		seed          = flag.Uint64("seed", 1, "random seed")
 		csv           = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		list          = flag.Bool("list", false, "list experiments and exit")
-		perf          = flag.Bool("perf", false, "run perf baselines and write -perf-out / -perf-stream-out")
+		perf          = flag.Bool("perf", false, "run perf baselines and write -perf-out / -perf-stream-out / -perf-obs-out")
 		perfOut       = flag.String("perf-out", "BENCH_netsim.json", "output path for the netsim -perf baseline")
 		perfStreamOut = flag.String("perf-stream-out", "BENCH_stream.json", "output path for the stream -perf baseline")
+		perfObsOut    = flag.String("perf-obs-out", "BENCH_obs.json", "output path for the observability -perf baseline")
 		cpuprofile    = flag.String("cpuprofile", "", "write CPU profile to file")
 		memprofile    = flag.String("memprofile", "", "write heap profile to file")
 	)
@@ -110,6 +111,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%-26s %12.0f ns/op %6d allocs/op\n", key, r.NsPerOp, r.AllocsPerOp)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *perfStreamOut)
+
+		fmt.Fprintln(os.Stderr, "measuring observability perf baseline...")
+		o := bench.RunObsPerfBaseline()
+		if err := os.WriteFile(*perfObsOut, o.JSON(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sagebench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, key := range []string{
+			"CounterInc", "GaugeSet", "HistogramObserve",
+			"DisabledCounterInc", "TimelineRecord",
+		} {
+			r := o.Benchmarks[key]
+			fmt.Fprintf(os.Stderr, "%-26s %12.1f ns/op %6d allocs/op\n", key, r.NsPerOp, r.AllocsPerOp)
+		}
+		fmt.Fprintf(os.Stderr, "exp19 quick: %.1f ms off, %.1f ms on (%+.2f%%)\n",
+			o.Exp19RecoveryMillisOff, o.Exp19RecoveryMillisOn, o.Exp19ObsOverheadPct)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *perfObsOut)
 		return
 	}
 

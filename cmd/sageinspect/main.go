@@ -3,32 +3,45 @@
 // profiles (with stability grades), attainment against a target throughput,
 // and a catalog of what standard transfers would cost right now.
 //
+// With -timeline it additionally runs a representative streaming job with
+// the observability layer attached and exports the phase timeline as Chrome
+// trace_event JSON — load the file in chrome://tracing or Perfetto.
+//
 // Example:
 //
 //	sageinspect -hours 4 -target 8 -ref 1073741824
+//	sageinspect -hours 1 -timeline trace.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 	"time"
 
+	"sage/internal/cloud"
 	"sage/internal/core"
 	"sage/internal/introspect"
+	"sage/internal/obs"
 	"sage/internal/stats"
+	"sage/internal/stream"
+	"sage/internal/transfer"
+	"sage/internal/workload"
 )
 
 func main() {
 	var (
-		hours  = flag.Float64("hours", 2, "virtual hours of monitoring before the report")
-		target = flag.Float64("target", 8, "target MB/s for the attainment column")
-		ref    = flag.Int64("ref", 1<<30, "reference dataset size for the cost catalog (bytes)")
-		lanes  = flag.Int("lanes", 4, "parallel lane count for the catalog's parallel variant")
-		seed   = flag.Uint64("seed", 1, "random seed")
+		hours    = flag.Float64("hours", 2, "virtual hours of monitoring before the report")
+		target   = flag.Float64("target", 8, "target MB/s for the attainment column")
+		ref      = flag.Int64("ref", 1<<30, "reference dataset size for the cost catalog (bytes)")
+		lanes    = flag.Int("lanes", 4, "parallel lane count for the catalog's parallel variant")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		timeline = flag.String("timeline", "", "run a demo job and write its Chrome trace_event timeline to this file")
 	)
 	flag.Parse()
 
-	e := core.NewEngine(core.Options{Seed: *seed})
+	e := core.NewEngine(core.WithSeed(*seed))
 	e.Sched.RunFor(time.Duration(*hours * float64(time.Hour)))
 
 	topo := e.Net.Topology()
@@ -46,4 +59,47 @@ func main() {
 	par := e.Params
 	par.Intr = 1
 	fmt.Println(introspect.CatalogTable(introspect.Catalog(e.Monitor, topo, par, *ref, *lanes)).String())
+
+	if *timeline != "" {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sageinspect:", err)
+			os.Exit(1)
+		}
+		if err := exportTimeline(*seed, 5*time.Minute, f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "sageinspect:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "sageinspect:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("timeline written to %s\n", *timeline)
+	}
+}
+
+// exportTimeline runs a representative three-source streaming job with the
+// observability layer attached and writes the recorded phase spans as Chrome
+// trace_event JSON.
+func exportTimeline(seed uint64, dur time.Duration, w io.Writer) error {
+	ob := obs.NewObserver()
+	e := core.NewEngine(core.WithSeed(seed), core.WithObservability(ob))
+	e.DeployEverywhere(cloud.Medium, 8)
+	job := core.JobSpec{
+		Sources: []core.SourceSpec{
+			{Site: cloud.NorthEU, Rate: workload.ConstantRate(200)},
+			{Site: cloud.WestEU, Rate: workload.ConstantRate(200)},
+			{Site: cloud.SouthUS, Rate: workload.ConstantRate(200)},
+		},
+		Sink:     cloud.NorthUS,
+		Window:   30 * time.Second,
+		Agg:      stream.Mean,
+		Strategy: transfer.EnvAware,
+		Lanes:    2,
+	}
+	if _, err := e.Run(job, dur); err != nil {
+		return err
+	}
+	return ob.Timeline.WriteChromeTrace(w)
 }

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExportTimelineIsLoadableChromeTrace(t *testing.T) {
+	var b strings.Builder
+	if err := exportTimeline(1, 3*time.Minute, &b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"window_close", "transfer", "window"} {
+		if !names[want] {
+			t.Fatalf("timeline missing %q events; have %v", want, names)
+		}
+	}
+}
+
+func TestExportTimelineDeterministic(t *testing.T) {
+	render := func() string {
+		var b strings.Builder
+		if err := exportTimeline(7, 2*time.Minute, &b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if render() != render() {
+		t.Fatal("same seed produced different timelines")
+	}
+}

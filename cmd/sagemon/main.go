@@ -6,35 +6,60 @@
 // Example:
 //
 //	sagemon -hours 2 -every 30m -seed 3
+//	sagemon -hours 1 -metrics        # append the live metrics registry
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"sage/internal/core"
+	"sage/internal/obs"
 	"sage/internal/stats"
 )
 
 func main() {
 	var (
-		hours = flag.Float64("hours", 1, "virtual hours to simulate")
-		every = flag.Duration("every", 30*time.Minute, "map print interval (virtual)")
-		seed  = flag.Uint64("seed", 1, "random seed")
+		hours   = flag.Float64("hours", 1, "virtual hours to simulate")
+		every   = flag.Duration("every", 30*time.Minute, "map print interval (virtual)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		metrics = flag.Bool("metrics", false, "print the live metrics registry (Prometheus text) with each map")
 	)
 	flag.Parse()
 
-	e := core.NewEngine(core.Options{Seed: *seed})
 	total := time.Duration(*hours * float64(time.Hour))
-	for elapsed := time.Duration(0); elapsed < total; elapsed += *every {
-		e.Sched.RunFor(*every)
-		fmt.Printf("t=%v\n", e.Sched.Now())
-		printMap(e)
+	if err := runMonitor(*seed, total, *every, *metrics, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sagemon:", err)
+		os.Exit(1)
 	}
 }
 
-func printMap(e *core.Engine) {
+// runMonitor drives the simulation and writes the periodic throughput map —
+// and, when metrics is set, the live metric registry — to w.
+func runMonitor(seed uint64, total, every time.Duration, metrics bool, w io.Writer) error {
+	var ob *obs.Observer
+	if metrics {
+		ob = obs.NewObserver()
+	}
+	e := core.NewEngine(core.WithSeed(seed), core.WithObservability(ob))
+	for elapsed := time.Duration(0); elapsed < total; elapsed += every {
+		e.Sched.RunFor(every)
+		fmt.Fprintf(w, "t=%v\n", e.Sched.Now())
+		fmt.Fprintln(w, mapTable(e).String())
+		if metrics {
+			fmt.Fprintln(w, "-- live metrics --")
+			if err := ob.Metrics.WritePrometheus(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func mapTable(e *core.Engine) *stats.Table {
 	ids := e.Net.Topology().SiteIDs()
 	tb := stats.NewTable("inter-datacenter throughput (MB/s): monitored | ground truth", "from\\to")
 	for _, to := range ids {
@@ -52,5 +77,5 @@ func printMap(e *core.Engine) {
 		}
 		tb.Add(row...)
 	}
-	fmt.Println(tb.String())
+	return tb
 }

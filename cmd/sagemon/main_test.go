@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunMonitorPrintsMapAndMetrics(t *testing.T) {
+	var b strings.Builder
+	if err := runMonitor(3, 20*time.Minute, 10*time.Minute, true, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "t=") != 2 {
+		t.Fatalf("expected 2 map intervals, got:\n%s", out)
+	}
+	if !strings.Contains(out, "inter-datacenter throughput") {
+		t.Fatal("missing throughput map")
+	}
+	// The monitor probed during the warm-up, so the live registry carries
+	// probe counts and per-link estimates.
+	for _, want := range []string{
+		"-- live metrics --",
+		"# TYPE sage_probes_total counter",
+		"sage_link_estimate_mbps{",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMonitorWithoutMetricsIsQuiet(t *testing.T) {
+	var b strings.Builder
+	if err := runMonitor(3, 10*time.Minute, 10*time.Minute, false, &b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "live metrics") {
+		t.Fatal("metrics printed without the flag")
+	}
+}

@@ -67,7 +67,7 @@ func main() {
 	if *tracePath != "" {
 		rec = trace.New(1 << 20)
 	}
-	e := core.NewEngine(core.Options{Seed: *seed, Trace: rec})
+	e := core.NewEngine(core.WithOptions(core.Options{Seed: *seed, Trace: rec}))
 	e.DeployEverywhere(cloud.Medium, *workers)
 	e.Sched.RunFor(time.Minute) // monitor learning
 

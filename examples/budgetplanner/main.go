@@ -20,7 +20,7 @@ func main() {
 	const size = 2 << 30 // 2 GiB
 	from, to := cloud.NorthEU, cloud.NorthUS
 
-	engine := core.NewEngine(core.Options{Seed: 5})
+	engine := core.NewEngine(core.WithSeed(5))
 	engine.DeployEverywhere(cloud.Medium, 12)
 	engine.Sched.RunFor(2 * time.Minute) // learn the links
 

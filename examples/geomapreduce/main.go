@@ -26,7 +26,7 @@ const (
 var sites = []cloud.SiteID{cloud.NorthEU, cloud.WestEU, cloud.SouthUS}
 
 func sageRun(strategy transfer.Strategy) (*core.GatherReport, error) {
-	engine := core.NewEngine(core.Options{Seed: 11})
+	engine := core.NewEngine(core.WithSeed(11))
 	engine.DeployEverywhere(cloud.Medium, 8)
 	engine.Sched.RunFor(time.Minute)
 	return engine.Gather(core.GatherSpec{
@@ -39,7 +39,7 @@ func sageRun(strategy transfer.Strategy) (*core.GatherReport, error) {
 }
 
 func blobRun() (time.Duration, float64) {
-	engine := core.NewEngine(core.Options{Seed: 11})
+	engine := core.NewEngine(core.WithSeed(11))
 	store := baseline.NewBlobStore(engine.Net, cloud.NorthUS, baseline.BlobOptions{})
 	remaining := len(sites)
 	var makespan time.Duration

@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	engine := core.NewEngine(core.Options{Seed: 42})
+	engine := core.NewEngine(core.WithSeed(42))
 	engine.DeployEverywhere(cloud.Medium, 4)
 
 	report, err := engine.Run(core.JobSpec{

@@ -16,7 +16,7 @@ import (
 )
 
 func run(tree bool) transfer.DisseminateResult {
-	engine := core.NewEngine(core.Options{Seed: 21})
+	engine := core.NewEngine(core.WithSeed(21))
 	engine.DeployEverywhere(cloud.Medium, 10)
 	engine.Sched.RunFor(time.Minute) // learn the links
 

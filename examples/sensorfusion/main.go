@@ -20,7 +20,7 @@ import (
 )
 
 func run(shipRaw bool) *core.Report {
-	engine := core.NewEngine(core.Options{Seed: 7})
+	engine := core.NewEngine(core.WithSeed(7))
 	engine.DeployEverywhere(cloud.Medium, 6)
 	engine.Sched.RunFor(time.Minute) // let the monitor learn the links
 

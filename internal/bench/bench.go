@@ -101,12 +101,12 @@ func newEngine(seed uint64, variability bool) *core.Engine {
 	if !variability {
 		nopt = netsim.Options{GlitchMeanGap: -1, ProbeNoise: 1e-9}
 	}
-	e := core.NewEngine(core.Options{
+	e := core.NewEngine(core.WithOptions(core.Options{
 		Seed:    seed,
 		Net:     nopt,
 		Monitor: monitor.Options{Interval: 30 * time.Second},
 		Params:  model.Default(),
-	})
+	}), core.WithObservability(observer()))
 	return e
 }
 

@@ -51,14 +51,14 @@ func expAblationWSI(cfg Config) []*stats.Table {
 	type cell struct{ rep *core.Report }
 	results := make([]cell, len(factories)*reps)
 	parMap(len(results), func(i int) {
-		e := core.NewEngine(core.Options{
+		e := core.NewEngine(core.WithOptions(core.Options{
 			Seed: cfg.Seed + uint64(i/len(factories))*977,
 			// The regime that motivates sample weighting: capacity drifts
 			// slowly, but one probe in ten is a wild transient.
 			Net:     netsim.Options{ProbeNoise: 0.15, OUTheta: 1.0 / 1800, ProbeOutlierProb: 0.10},
 			Monitor: monitor.Options{Interval: 30 * time.Second, Factory: factories[i%len(factories)].factory},
 			Params:  model.Default(),
-		})
+		}), core.WithObservability(observer()))
 		e.DeployEverywhere(cloud.Medium, 10)
 		// Let every estimator pass its learning transient before the job.
 		e.Sched.RunFor(15 * time.Minute)

@@ -62,7 +62,7 @@ func runWindowed(cfg Config, strategy transfer.Strategy, nodes int, window time.
 	// Rough weather: frequent, deep, long capacity glitches on every link.
 	// Static plans ride their chosen path down; dynamic plans re-route at
 	// each replan interval. No strategy is singled out.
-	e := core.NewEngine(core.Options{
+	e := core.NewEngine(core.WithOptions(core.Options{
 		Seed: cfg.Seed,
 		Net: netsim.Options{
 			GlitchMeanGap: 3 * time.Minute, GlitchMeanDur: 90 * time.Second,
@@ -70,7 +70,7 @@ func runWindowed(cfg Config, strategy transfer.Strategy, nodes int, window time.
 		},
 		Monitor: monitor.Options{Interval: 15 * time.Second},
 		Params:  model.Default(),
-	})
+	}), core.WithObservability(observer()))
 	e.DeployEverywhere(cloud.Medium, nodes+8)
 	e.Sched.RunFor(time.Minute) // monitor warm-up
 	req := transfer.Request{

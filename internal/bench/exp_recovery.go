@@ -61,13 +61,13 @@ func expRecovery(cfg Config) []*stats.Table {
 	}
 
 	buildEngine := func() *core.Engine {
-		e := core.NewEngine(core.Options{
+		e := core.NewEngine(core.WithOptions(core.Options{
 			Seed:     cfg.Seed,
 			Net:      netsim.Options{GlitchMeanGap: -1, ProbeNoise: 1e-9},
 			Monitor:  monitor.Options{Interval: 30 * time.Second},
 			Transfer: transfer.Options{ChunkBytes: 1 << 20},
 			Params:   model.Default(),
-		})
+		}), core.WithObservability(observer()))
 		e.DeployEverywhere(cloud.Medium, 8)
 		e.Sched.RunFor(warmup)
 		return e

@@ -24,13 +24,13 @@ func init() {
 
 // worldEngine builds an engine on the 9-site worldwide topology.
 func worldEngine(seed uint64, workers int) *core.Engine {
-	e := core.NewEngine(core.Options{
+	e := core.NewEngine(core.WithOptions(core.Options{
 		Seed:     seed,
 		Topology: cloud.WorldWide(),
 		Net:      netsim.Options{},
 		Monitor:  monitor.Options{Interval: 30 * time.Second},
 		Params:   model.Default(),
-	})
+	}), core.WithObservability(observer()))
 	e.DeployEverywhere(cloud.Medium, workers)
 	return e
 }

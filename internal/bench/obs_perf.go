@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"sage/internal/obs"
+)
+
+// obsPerfBenchNames are the hot-path instrument benchmarks the obs baseline
+// sweeps; the live-update ones carry the 0 allocs/op acceptance budget.
+var obsPerfBenchNames = []string{
+	"CounterInc", "GaugeSet", "HistogramObserve", "DisabledCounterInc", "TimelineRecord",
+}
+
+// RunObsPerfBaseline measures the observability hot paths (live and no-op
+// instrument updates, flight-recorder appends) plus the end-to-end cost of
+// the layer: a quick-mode recovery experiment timed with the layer off and
+// on. The snapshot is written to BENCH_obs.json by `sagebench -perf`; the
+// committed copy is the regression guard for the 0 allocs/op and ≤3%
+// wall-time budgets.
+func RunObsPerfBaseline() PerfBaseline {
+	p := newPerfBaseline()
+	for name, fn := range map[string]func(*testing.B){
+		"CounterInc":         obs.RunBenchmarkCounterInc,
+		"GaugeSet":           obs.RunBenchmarkGaugeSet,
+		"HistogramObserve":   obs.RunBenchmarkHistogramObserve,
+		"DisabledCounterInc": obs.RunBenchmarkDisabledCounterInc,
+		"TimelineRecord":     obs.RunBenchmarkTimelineRecord,
+	} {
+		p.record(name, testing.Benchmark(fn))
+	}
+
+	if e, ok := ByID(19); ok {
+		prev := SetObservability(nil)
+		off := bestOfRuns(5, e)
+		SetObservability(obs.NewObserver())
+		on := bestOfRuns(5, e)
+		SetObservability(prev)
+		p.Exp19RecoveryMillisOff = float64(off.Microseconds()) / 1e3
+		p.Exp19RecoveryMillisOn = float64(on.Microseconds()) / 1e3
+		p.Exp19ObsOverheadPct = (float64(on) - float64(off)) / float64(off) * 100
+	}
+	return p
+}
+
+// bestOfRuns times n quick-mode runs of the experiment and returns the
+// fastest — the standard way to strip scheduler noise from a wall-clock
+// comparison.
+func bestOfRuns(n int, e Experiment) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		e.Run(Config{Seed: 1, Quick: true})
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}

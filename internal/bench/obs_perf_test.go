@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sage/internal/obs"
+)
+
+// TestObsPerfBaselineFileValid guards the committed BENCH_obs.json: it must
+// parse, cover every hot-path benchmark `-perf` sweeps, and hold the two
+// acceptance budgets of the observability layer — live instrument updates
+// allocate nothing, and attaching the layer adds at most 3% wall time to
+// the end-to-end recovery experiment.
+func TestObsPerfBaselineFileValid(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_obs.json"))
+	if err != nil {
+		t.Fatalf("missing obs perf baseline (regenerate with `go run ./cmd/sagebench -perf`): %v", err)
+	}
+	var p PerfBaseline
+	if err := json.Unmarshal(raw, &p); err != nil {
+		t.Fatalf("BENCH_obs.json does not parse: %v", err)
+	}
+	for _, key := range obsPerfBenchNames {
+		r, ok := p.Benchmarks[key]
+		if !ok {
+			t.Fatalf("baseline missing benchmark %q", key)
+		}
+		if r.NsPerOp <= 0 {
+			t.Fatalf("baseline %q has non-positive ns/op: %+v", key, r)
+		}
+		if r.AllocsPerOp != 0 {
+			t.Fatalf("%s allocates %d per op in the committed baseline; the hot-path budget is 0", key, r.AllocsPerOp)
+		}
+	}
+	if p.Exp19RecoveryMillisOff <= 0 || p.Exp19RecoveryMillisOn <= 0 {
+		t.Fatal("baseline missing end-to-end exp19 timings")
+	}
+	if p.Exp19ObsOverheadPct > 3.0 {
+		t.Fatalf("observability adds %.2f%% wall time to the recovery experiment; the budget is 3%%", p.Exp19ObsOverheadPct)
+	}
+}
+
+// TestObservabilityInertExp19 pins the gating guarantee at suite scale: the
+// recovery experiment renders byte-identical tables with the layer detached
+// and attached.
+func TestObservabilityInertExp19(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick recovery experiment twice")
+	}
+	e, ok := ByID(19)
+	if !ok {
+		t.Fatal("experiment 19 not registered")
+	}
+	prev := SetObservability(nil)
+	defer SetObservability(prev)
+	off := renderQuick(e, 1)
+	SetObservability(obs.NewObserver())
+	on := renderQuick(e, 1)
+	if off != on {
+		t.Fatal("observability changed the rendered recovery tables")
+	}
+}
+
+// BenchmarkExp19Recovery is the end-to-end wall-time benchmark the
+// instrumentation-overhead budget is written against: one quick-mode
+// recovery run per iteration, observability in whatever state the hook
+// holds (off by default; SAGE_OBS=1 turns it on).
+func BenchmarkExp19Recovery(b *testing.B) {
+	e, ok := ByID(19)
+	if !ok {
+		b.Fatal("experiment 19 not registered")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Run(Config{Seed: 1, Quick: true})
+	}
+}

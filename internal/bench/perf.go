@@ -31,6 +31,13 @@ type PerfBaseline struct {
 	// the end-to-end multi-datacenter experiment (seed 1). Only the netsim
 	// baseline records it; the stream baseline omits it.
 	Exp08MultiDCMillis float64 `json:"exp08_multidc_quick_ms,omitempty"`
+	// Exp19RecoveryMillisOff/On are best-of-N wall-clock times of a
+	// quick-mode recovery-experiment run (seed 1) with the observability
+	// layer detached and attached; Exp19ObsOverheadPct is the relative
+	// cost of turning the layer on. Only the obs baseline records them.
+	Exp19RecoveryMillisOff float64 `json:"exp19_recovery_quick_ms_off,omitempty"`
+	Exp19RecoveryMillisOn  float64 `json:"exp19_recovery_quick_ms_on,omitempty"`
+	Exp19ObsOverheadPct    float64 `json:"exp19_obs_overhead_pct,omitempty"`
 }
 
 // newPerfBaseline returns an empty snapshot stamped with the toolchain.

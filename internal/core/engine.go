@@ -14,7 +14,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
@@ -22,6 +21,7 @@ import (
 	"sage/internal/model"
 	"sage/internal/monitor"
 	"sage/internal/netsim"
+	"sage/internal/obs"
 	"sage/internal/resilience"
 	"sage/internal/rng"
 	"sage/internal/simtime"
@@ -44,6 +44,14 @@ type Engine struct {
 	Calib *Calibrator
 	// Trace records the run's timeline when configured.
 	Trace *trace.Recorder
+	// Obs is the unified observability layer (nil when disabled).
+	Obs *obs.Observer
+	// met holds the engine's pre-registered metric handles; the zero value
+	// (observability off) is all no-ops.
+	met engineMetrics
+	// defaultCkpt, when positive, arms resilience with this checkpoint
+	// interval for jobs that do not carry their own Resilience config.
+	defaultCkpt time.Duration
 	// det is the engine-wide heartbeat failure detector, created lazily by
 	// the first resilient job (its config sets the shared heartbeat timing).
 	det *resilience.Detector
@@ -77,10 +85,24 @@ type Options struct {
 	// Trace, when non-nil, records the run's timeline (transfers, replans,
 	// window completions).
 	Trace *trace.Recorder
+	// Obs, when non-nil, wires the unified observability layer (metrics
+	// registry + span timeline) through every subsystem. Nil disables the
+	// layer at zero cost; simulation behavior is identical either way.
+	Obs *obs.Observer
+	// DefaultCheckpointInterval, when positive, arms the resilience
+	// subsystem (checkpointing at this interval) for every job started
+	// without its own Resilience config.
+	DefaultCheckpointInterval time.Duration
 }
 
-// NewEngine wires a full SAGE stack and starts monitoring.
-func NewEngine(opt Options) *Engine {
+// NewEngine wires a full SAGE stack and starts monitoring. It takes
+// functional options: NewEngine(WithSeed(3), WithObservability(ob)), or
+// NewEngine(WithOptions(opt)) for a pre-built Options carrier.
+func NewEngine(opts ...Option) *Engine {
+	var opt Options
+	for _, apply := range opts {
+		apply(&opt)
+	}
 	if opt.Seed == 0 {
 		opt.Seed = 1
 	}
@@ -92,14 +114,19 @@ func NewEngine(opt Options) *Engine {
 	}
 	sched := simtime.New()
 	root := rng.New(opt.Seed)
+	opt.Net.Obs = opt.Obs
 	net := netsim.New(sched, opt.Topology, root, opt.Net)
+	opt.Monitor.Obs = opt.Obs
 	mon := monitor.NewService(net, opt.Monitor)
 	mon.Start()
 	opt.Transfer.Params = opt.Params
 	opt.Transfer.Trace = opt.Trace
+	opt.Transfer.Obs = opt.Obs
 	mgr := transfer.NewManager(net, mon, opt.Transfer)
 	return &Engine{Sched: sched, Net: net, Monitor: mon, Mgr: mgr,
-		Params: opt.Params, Calib: NewCalibrator(), Trace: opt.Trace}
+		Params: opt.Params, Calib: NewCalibrator(), Trace: opt.Trace,
+		Obs: opt.Obs, met: newEngineMetrics(opt.Obs.Registry()),
+		defaultCkpt: opt.DefaultCheckpointInterval}
 }
 
 // Deploy provisions worker VMs in one site.
@@ -182,17 +209,17 @@ type JobSpec struct {
 
 func (j *JobSpec) withDefaults() error {
 	if len(j.Sources) == 0 {
-		return errors.New("core: job needs at least one source")
+		return &SpecError{Field: "Sources", Reason: "job needs at least one source"}
 	}
 	if j.Window <= 0 {
-		return errors.New("core: job needs a positive window")
+		return &SpecError{Field: "Window", Reason: "job needs a positive window"}
 	}
 	if j.Sink == "" {
-		return errors.New("core: job needs a sink site")
+		return &SpecError{Field: "Sink", Reason: "job needs a sink site"}
 	}
 	for i := range j.Sources {
 		if j.Sources[i].Rate == nil {
-			return fmt.Errorf("core: source %d has no rate", i)
+			return specErrorf(fmt.Sprintf("Sources[%d].Rate", i), "source has no rate")
 		}
 		if j.Sources[i].EventBytes <= 0 {
 			j.Sources[i].EventBytes = 200
@@ -202,7 +229,8 @@ func (j *JobSpec) withDefaults() error {
 		j.PartialOverheadBytes = 1024
 	}
 	if j.BudgetPerWindow > 0 && j.DeadlinePerWindow > 0 {
-		return errors.New("core: BudgetPerWindow and DeadlinePerWindow are mutually exclusive")
+		return &SpecError{Field: "BudgetPerWindow",
+			Reason: "mutually exclusive with DeadlinePerWindow"}
 	}
 	if j.Lanes <= 0 {
 		j.Lanes = 2
@@ -253,6 +281,10 @@ type Report struct {
 	// Resilience reports what the resilience machinery did, when the job
 	// enabled it (nil otherwise).
 	Resilience *resilience.Metrics
+	// Timeline is the flight-recorder snapshot taken at job end when the
+	// engine runs with observability (nil otherwise). Spans are oldest-first
+	// on the simulated clock.
+	Timeline []obs.Span
 }
 
 // sourceState is the engine's per-source runtime.
@@ -353,6 +385,9 @@ func (e *Engine) Wait(dur time.Duration, runs ...*JobRun) []*Report {
 	out := make([]*Report, len(runs))
 	for i, r := range runs {
 		out[i] = r.finalize()
+		if e.Obs != nil && out[i].Timeline == nil {
+			out[i].Timeline = e.Obs.Spans().Snapshot()
+		}
 	}
 	return out
 }
@@ -363,8 +398,12 @@ func (e *Engine) Start(job JobSpec, dur time.Duration) (*JobRun, error) {
 		return nil, err
 	}
 	if e.Net.Topology().Site(job.Sink) == nil {
-		return nil, fmt.Errorf("core: unknown sink %q", job.Sink)
+		return nil, specErrorf("Sink", "unknown sink %q", job.Sink)
 	}
+	if job.Resilience == nil && e.defaultCkpt > 0 {
+		job.Resilience = &resilience.Config{CheckpointInterval: e.defaultCkpt}
+	}
+	e.met.jobs.With().Inc()
 	run := &JobRun{
 		job:     job,
 		rep:     &Report{Global: stream.NewKeyedAgg(job.Agg)},
@@ -403,11 +442,13 @@ func (e *Engine) Start(job JobSpec, dur time.Duration) (*JobRun, error) {
 		rep.Windows++
 		rep.Latencies = append(rep.Latencies, at-ws.window.End)
 		if e.Trace != nil {
-			e.Trace.Record(trace.Event{
-				At: at, Kind: trace.WindowComplete, Site: string(run.sink),
-				Value: (at - ws.window.End).Seconds(),
-				Note:  ws.window.String(),
-			})
+			e.Trace.Record(trace.NewWindowComplete(at, string(run.sink),
+				at-ws.window.End, ws.window.String()))
+		}
+		if e.Obs != nil {
+			e.met.windows.With(string(run.sink)).Inc()
+			e.met.winLatency.With(string(run.sink)).Observe((at - ws.window.End).Seconds())
+			e.Obs.Spans().WindowSpan(ws.window.End, at, string(run.sink), uint64(ws.window.Start))
 		}
 	}
 
@@ -453,6 +494,10 @@ func (e *Engine) Start(job JobSpec, dur time.Duration) (*JobRun, error) {
 			e.ship(run, s, empty, kept)
 		}
 		rep.TotalEvents += int64(kept)
+		if e.Obs != nil {
+			e.met.events.With(string(s.spec.Site)).Add(int64(kept))
+			e.Obs.Spans().WindowClose(end, string(s.spec.Site), kept, uint64(start))
+		}
 	}
 
 	if job.Resilience != nil {
@@ -501,6 +546,9 @@ func (e *Engine) shipResume(run *JobRun, s *sourceState, cw stream.Closed, event
 	if run.guard != nil {
 		run.guard.recordWindow(s, cw, events, bytes)
 	}
+	if e.Obs != nil {
+		e.met.partials.With(string(s.spec.Site)).Inc()
+	}
 
 	arrive := func(tr time.Duration, lanes int, cost float64) {
 		if run.guard != nil && run.guard.noteArrive(s, ws, bytes) {
@@ -513,6 +561,9 @@ func (e *Engine) shipResume(run *JobRun, s *sourceState, cw stream.Closed, event
 		}
 		ws.arrived++
 		ws.merged.Merge(cw.Agg)
+		if e.Obs != nil {
+			e.Obs.Spans().Merge(e.Sched.Now(), string(sink), bytes, uint64(cw.Window.Start))
+		}
 		rep.SiteWindows = append(rep.SiteWindows, SiteWindow{
 			Site: s.spec.Site, Window: cw.Window,
 			Events: events, Keys: cw.Agg.Keys(), Bytes: bytes,
@@ -572,6 +623,10 @@ func (e *Engine) shipResume(run *JobRun, s *sourceState, cw stream.Closed, event
 		if job.RiskFactor > 0 {
 			est = model.Conservative(est, sigma, job.RiskFactor)
 		}
+		if e.Obs != nil {
+			e.Obs.Spans().EstimateUsed(e.Sched.Now(), string(s.spec.Site), string(sink),
+				est, uint64(cw.Window.Start))
+		}
 		p := e.Params
 		if job.Intr > 0 {
 			p.Intr = job.Intr
@@ -583,6 +638,10 @@ func (e *Engine) shipResume(run *JobRun, s *sourceState, cw stream.Closed, event
 				req.NodeBudget = int(float64(n) * p.SitesPerLane)
 			} else {
 				req.Lanes = n
+			}
+			if e.Obs != nil {
+				e.Obs.Spans().ModelSize(e.Sched.Now(), string(s.spec.Site), string(sink),
+					bytes, n, uint64(cw.Window.Start))
 			}
 		}
 		explored := false
@@ -617,6 +676,10 @@ func (e *Engine) shipResume(run *JobRun, s *sourceState, cw stream.Closed, event
 	}
 	s.shipped++
 	*inflight++
+	if e.Obs != nil {
+		e.Obs.Spans().Dispatch(e.Sched.Now(), string(s.spec.Site), string(sink),
+			bytes, uint64(cw.Window.Start))
+	}
 	lanes := req.Lanes
 	h, err := e.Mgr.Transfer(req, func(res transfer.Result) {
 		*inflight--

@@ -14,11 +14,11 @@ import (
 // variability suppressed for exact assertions.
 func quietEngine(seed uint64) *Engine {
 	topo := cloud.DefaultAzure()
-	e := NewEngine(Options{
+	e := NewEngine(WithOptions(Options{
 		Seed:     seed,
 		Topology: topo,
 		Net:      quietNetOptions(),
-	})
+	}))
 	e.DeployEverywhere(cloud.Medium, 8)
 	return e
 }

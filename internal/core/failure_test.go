@@ -99,13 +99,13 @@ func TestJobSurvivesLinkBlackout(t *testing.T) {
 
 func TestRiskAverseSizingUsesMoreLanesUnderVolatility(t *testing.T) {
 	run := func(risk float64) int {
-		e := NewEngine(Options{
+		e := NewEngine(WithOptions(Options{
 			Seed: 64,
 			// Volatile link: high sigma in the monitor's estimates.
 			Net:      netsim.Options{ProbeNoise: 0.3},
 			Transfer: transfer.Options{ChunkBytes: 8 << 20},
 			Params:   model.Default(),
-		})
+		}))
 		e.DeployEverywhere(cloud.Medium, 12)
 		e.Sched.RunFor(5 * time.Minute)
 		job := JobSpec{

@@ -44,13 +44,13 @@ func TestLossyDeterministicLatencyUnderGlitches(t *testing.T) {
 	// Under rough weather, lossy shipping keeps latency flat while losing
 	// data; acknowledged shipping keeps the data but pays latency.
 	run := func(lossy bool) *Report {
-		e := NewEngine(Options{
+		e := NewEngine(WithOptions(Options{
 			Seed: 42,
 			Net: netsim.Options{
 				GlitchMeanGap: 2 * time.Minute, GlitchMeanDur: 60 * time.Second,
 				GlitchDepthMin: 0.05, GlitchDepthMax: 0.3,
 			},
-		})
+		}))
 		e.DeployEverywhere(cloud.Medium, 8)
 		e.Sched.RunFor(time.Minute)
 		job := lossyJob()

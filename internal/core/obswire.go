@@ -1,0 +1,36 @@
+package core
+
+import "sage/internal/obs"
+
+// engineMetrics holds the engine's pre-registered instrument families. The
+// zero value (observability disabled) hands out no-op handles, so the
+// instrumented paths below cost one nil check each when the layer is off.
+type engineMetrics struct {
+	jobs        obs.CounterVec   // (no labels) jobs started
+	windows     obs.CounterVec   // sink: globally completed windows
+	events      obs.CounterVec   // site: events kept after Map
+	partials    obs.CounterVec   // site: partials shipped
+	winLatency  obs.HistogramVec // sink: window close → last partial, seconds
+	checkpoints obs.CounterVec   // sink: checkpoints persisted
+	ckptBytes   obs.CounterVec   // sink: checkpointed bytes
+	failovers   obs.CounterVec   // sink: meta-reducer re-elections
+	siteFails   obs.CounterVec   // site: failure-detector death declarations
+	recoveries  obs.CounterVec   // site: sites rejoining
+}
+
+// newEngineMetrics registers the engine's families. A nil registry yields
+// the all-no-op zero value.
+func newEngineMetrics(r *obs.Registry) engineMetrics {
+	return engineMetrics{
+		jobs:        r.Counter("sage_jobs_total", "jobs started on the engine"),
+		windows:     r.Counter("sage_windows_completed_total", "globally completed windows", "sink"),
+		events:      r.Counter("sage_events_total", "source events kept after Map", "site"),
+		partials:    r.Counter("sage_partials_shipped_total", "window partials shipped", "site"),
+		winLatency:  r.Histogram("sage_window_latency_seconds", "window close to last partial arrival", obs.DefBuckets, "sink"),
+		checkpoints: r.Counter("sage_checkpoints_total", "checkpoints persisted", "sink"),
+		ckptBytes:   r.Counter("sage_checkpoint_bytes_total", "checkpointed state bytes", "sink"),
+		failovers:   r.Counter("sage_failovers_total", "meta-reducer re-elections", "sink"),
+		siteFails:   r.Counter("sage_site_failures_total", "failure-detector death declarations", "site"),
+		recoveries:  r.Counter("sage_recoveries_total", "sites rejoining after failure", "site"),
+	}
+}

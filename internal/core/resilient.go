@@ -171,15 +171,12 @@ func (g *jobGuard) finish() *resilience.Metrics {
 	return &m
 }
 
-func (g *jobGuard) emit(kind trace.Kind, site, peer cloud.SiteID, bytes int64, value float64, note string) {
+// record emits a typed trace event when tracing is configured.
+func (g *jobGuard) record(e trace.Event) {
 	if g.e.Trace == nil {
 		return
 	}
-	g.e.Trace.Record(trace.Event{
-		At: g.e.Sched.Now(), Kind: kind,
-		Site: string(site), Peer: string(peer),
-		Bytes: bytes, Value: value, Note: note,
-	})
+	g.e.Trace.Record(e)
 }
 
 // ---- engine hooks ----------------------------------------------------------
@@ -292,7 +289,13 @@ func (g *jobGuard) checkpoint() {
 	for i := range g.srcs {
 		g.log.TrimThrough(i, cutoff)
 	}
-	g.emit(trace.Checkpoint, g.run.sink, "", int64(len(b)), float64(g.ckptSeq), "")
+	g.record(trace.NewCheckpoint(g.e.Sched.Now(), string(g.run.sink), int64(len(b)), g.ckptSeq))
+	if g.e.Obs != nil {
+		g.e.met.checkpoints.With(string(g.run.sink)).Inc()
+		g.e.met.ckptBytes.With(string(g.run.sink)).Add(int64(len(b)))
+		g.e.Obs.Spans().CheckpointMark(g.e.Sched.Now(), string(g.run.sink),
+			int64(len(b)), uint64(g.ckptSeq))
+	}
 }
 
 // completionFrontier returns the largest time T such that every window
@@ -367,7 +370,7 @@ func (g *jobGuard) decodeCkpt() *resilience.Checkpoint {
 	ck, err := resilience.DecodeCheckpoint(g.lastCkpt)
 	if err != nil {
 		// A corrupt checkpoint is equivalent to having none.
-		g.emit(trace.Checkpoint, g.run.sink, "", 0, 0, "decode failed: "+err.Error())
+		g.record(trace.NewCheckpointDecodeFailed(g.e.Sched.Now(), string(g.run.sink), err))
 		return nil
 	}
 	return ck
@@ -396,7 +399,8 @@ func (g *jobGuard) onDead(site cloud.SiteID) {
 		g.met.DetectTime = lat
 	}
 	g.e.Monitor.PauseSite(site)
-	g.emit(trace.SiteFail, site, "", 0, g.det.DetectLatency(site).Seconds(), "declared dead")
+	g.record(trace.NewSiteFail(g.e.Sched.Now(), string(site), g.det.DetectLatency(site)))
+	g.e.met.siteFails.With(string(site)).Inc()
 	for i, s := range g.srcs {
 		if s.spec.Site != site {
 			continue
@@ -433,7 +437,8 @@ func (g *jobGuard) onRecover(site cloud.SiteID) {
 	now := g.e.Sched.Now()
 	g.met.Recoveries++
 	g.e.Monitor.ResumeSite(site)
-	g.emit(trace.SiteRecover, site, "", 0, 0, "")
+	g.record(trace.NewSiteRecover(g.e.Sched.Now(), string(site)))
+	g.e.met.recoveries.With(string(site)).Inc()
 	ck := g.decodeCkpt()
 	for i, s := range g.srcs {
 		if s.spec.Site != site {
@@ -544,13 +549,17 @@ func (g *jobGuard) failover(oldSink cloud.SiteID) {
 	}
 	newSink, ok := resilience.PlanFailover(g.e.routeGraph(), g.e.Net.Topology(), sourceSites, exclude)
 	if !ok {
-		g.emit(trace.Failover, oldSink, "", 0, 0, "no viable sink; stalling")
+		g.record(trace.NewFailoverStall(g.e.Sched.Now(), string(oldSink)))
 		return
 	}
 	run.sink = newSink
 	g.det.Watch(newSink) // the replacement sink can fail too
 	g.met.Failovers++
-	g.emit(trace.Failover, oldSink, newSink, 0, 0, "meta-reducer re-elected")
+	g.record(trace.NewFailover(g.e.Sched.Now(), string(oldSink), string(newSink)))
+	if g.e.Obs != nil {
+		g.e.met.failovers.With(string(oldSink)).Inc()
+		g.e.Obs.Spans().FailoverMark(g.e.Sched.Now(), string(oldSink), string(newSink))
+	}
 
 	// Restore the sink's merged state from the last checkpoint; whatever it
 	// misses is re-collected below.
@@ -637,8 +646,8 @@ func (g *jobGuard) doneRecovering(i int, start simtime.Time) {
 	}
 	g.recoveryActive = false
 	g.met.RecoveryTime += g.e.Sched.Now() - g.recoveryStart
-	g.emit(trace.SiteRecover, g.run.sink, "", 0,
-		(g.e.Sched.Now() - g.recoveryStart).Seconds(), "backlog drained")
+	g.record(trace.NewBacklogDrained(g.e.Sched.Now(), string(g.run.sink),
+		g.e.Sched.Now()-g.recoveryStart))
 }
 
 // sortedTimes returns a map's simtime keys in ascending order.

@@ -1,0 +1,23 @@
+package core
+
+import "fmt"
+
+// SpecError reports an invalid JobSpec field. It is the typed form of job
+// validation failure: callers can errors.As it and branch on Field instead
+// of matching message text.
+type SpecError struct {
+	// Field names the offending JobSpec field, indexed where it applies
+	// (e.g. "Sources[2].Rate").
+	Field string
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+// Error implements error.
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("core: invalid job spec: %s: %s", e.Field, e.Reason)
+}
+
+func specErrorf(field, format string, args ...any) *SpecError {
+	return &SpecError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}

@@ -16,11 +16,11 @@ import (
 
 func TestEngineTraceTimeline(t *testing.T) {
 	rec := trace.New(10000)
-	e := NewEngine(Options{
+	e := NewEngine(WithOptions(Options{
 		Seed:  51,
 		Net:   netsim.Options{GlitchMeanGap: -1, ProbeNoise: 1e-9},
 		Trace: rec,
-	})
+	}))
 	e.DeployEverywhere(cloud.Medium, 6)
 	job := JobSpec{
 		Sources:  []SourceSpec{{Site: cloud.NorthEU, Rate: workload.ConstantRate(500)}},
@@ -68,11 +68,11 @@ func TestEngineTraceTimeline(t *testing.T) {
 
 func TestEngineTraceRecordsReplans(t *testing.T) {
 	rec := trace.New(10000)
-	e := NewEngine(Options{
+	e := NewEngine(WithOptions(Options{
 		Seed:  52,
 		Net:   netsim.Options{GlitchMeanGap: -1, ProbeNoise: 1e-9},
 		Trace: rec,
-	})
+	}))
 	e.DeployEverywhere(cloud.Medium, 8)
 	e.Sched.RunFor(time.Minute)
 	var done bool

@@ -7,6 +7,7 @@ import (
 
 	"sage/internal/cloud"
 	"sage/internal/netsim"
+	"sage/internal/obs"
 	"sage/internal/simtime"
 )
 
@@ -69,6 +70,11 @@ type LinkState struct {
 	Estimator Estimator
 	History   *History
 	paused    bool
+
+	// probeCtr / estGauge export probing activity and the current estimate;
+	// no-op handles when observability is off.
+	probeCtr obs.Counter
+	estGauge obs.Gauge
 }
 
 // Options configures the monitoring service.
@@ -84,6 +90,9 @@ type Options struct {
 	// LearningProbes is the number of immediate back-to-back probes taken
 	// per link at Start, the "initial learning phase" (default 3).
 	LearningProbes int
+	// Obs, when non-nil, exports per-link probe counters and estimate
+	// gauges through the observability layer.
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -126,12 +135,17 @@ func NewService(net *netsim.Network, opt Options) *Service {
 		opt:   opt,
 		links: make(map[LinkKey]*LinkState),
 	}
+	probes := opt.Obs.Registry().Counter("sage_probes_total", "monitoring probes taken", "from", "to")
+	ests := opt.Obs.Registry().Gauge("sage_link_estimate_mbps", "current link throughput estimate", "from", "to")
 	for _, l := range net.Topology().Links() {
 		k := LinkKey{l.From, l.To}
 		s.links[k] = &LinkState{
 			Key:       k,
 			Estimator: opt.Factory(),
 			History:   NewHistory(opt.HistorySize),
+
+			probeCtr: probes.With(string(l.From), string(l.To)),
+			estGauge: ests.With(string(l.From), string(l.To)),
 		}
 		s.order = append(s.order, k)
 	}
@@ -168,6 +182,10 @@ func (s *Service) probeAll() {
 		sm := Sample{Value: v, At: s.sched.Now()}
 		st.Estimator.Observe(sm)
 		st.History.Add(sm)
+		if st.probeCtr.Enabled() {
+			st.probeCtr.Inc()
+			st.estGauge.Set(st.Estimator.Mean())
+		}
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"sage/internal/cloud"
+	"sage/internal/obs"
 	"sage/internal/rng"
 	"sage/internal/simtime"
 )
@@ -77,6 +78,10 @@ type Options struct {
 	// CrossTrafficMeanBytes is the mean background flow size, drawn
 	// log-normally (default 64 MB).
 	CrossTrafficMeanBytes int64
+	// Obs, when non-nil, exports per-link capacity/flow gauges and per-site
+	// egress counters through the observability layer. Nil (the default)
+	// keeps the simulator's behavior and allocation profile untouched.
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -252,6 +257,11 @@ type wanLink struct {
 	scale   float64 // experiment injection multiplier
 	res     *resource
 	senders map[*Node]int // distinct sender nodes with active flows
+
+	// capGauge / flowGauge export the link's state each resample; no-op
+	// handles when observability is off.
+	capGauge  obs.Gauge
+	flowGauge obs.Gauge
 }
 
 func (l *wanLink) capacityFor(k int, opt Options) float64 {
@@ -276,6 +286,11 @@ type Network struct {
 	onWake  func()
 	egress  map[cloud.SiteID]int64
 	nodeSeq map[cloud.SiteID]int
+
+	// met / egressCtr are the observability families and the per-site
+	// egress handle cache (zero/nil when the layer is off).
+	met       netMetrics
+	egressCtr map[cloud.SiteID]obs.Counter
 
 	// live is the ID-ordered list of unfinished flows (including flows
 	// still in their activation delay). IDs are assigned in increasing
@@ -308,6 +323,9 @@ func New(sched *simtime.Scheduler, topo *cloud.Topology, r *rng.Rand, opt Option
 		links:   make(map[[2]cloud.SiteID]*wanLink),
 		egress:  make(map[cloud.SiteID]int64),
 		nodeSeq: make(map[cloud.SiteID]int),
+
+		met:       newNetMetrics(opt.Obs.Registry()),
+		egressCtr: make(map[cloud.SiteID]obs.Counter),
 	}
 	n.onWake = func() { n.reschedule() }
 	for _, spec := range topo.Links() {
@@ -320,6 +338,9 @@ func New(sched *simtime.Scheduler, topo *cloud.Topology, r *rng.Rand, opt Option
 			glitch:  1,
 			scale:   1,
 			senders: make(map[*Node]int),
+
+			capGauge:  n.met.capacity.With(string(spec.From), string(spec.To)),
+			flowGauge: n.met.flows.With(string(spec.From), string(spec.To)),
 		}
 		l.res = &resource{
 			name:  fmt.Sprintf("wan:%s>%s", spec.From, spec.To),
@@ -385,6 +406,10 @@ func (n *Network) resample() {
 	for _, l := range n.links {
 		v := l.ou.Step(dt)
 		l.factor = math.Min(n.opt.CapacityCeil, math.Max(n.opt.CapacityFloor, v))
+		if l.capGauge.Enabled() {
+			l.capGauge.Set(l.capacityFor(len(l.senders), n.opt))
+			l.flowGauge.Set(float64(len(l.senders)))
+		}
 	}
 	n.reschedule()
 }
@@ -685,6 +710,7 @@ func (n *Network) finishFlow(f *Flow, err error) {
 			}
 		}
 		n.egress[f.Src.Site] += int64(f.done)
+		n.egressCounter(f.Src.Site).Add(int64(f.done))
 	}
 	if f.active {
 		for _, r := range f.resources {

@@ -1,0 +1,18 @@
+package obs
+
+import "testing"
+
+// The benchmark bodies live in benchmarks.go so the perf-baseline tooling
+// can invoke them via testing.Benchmark.
+
+// BenchmarkCounterInc is the dedicated 0 allocs/op acceptance benchmark for
+// counter updates.
+func BenchmarkCounterInc(b *testing.B) { RunBenchmarkCounterInc(b) }
+
+func BenchmarkGaugeSet(b *testing.B) { RunBenchmarkGaugeSet(b) }
+
+func BenchmarkHistogramObserve(b *testing.B) { RunBenchmarkHistogramObserve(b) }
+
+func BenchmarkDisabledCounterInc(b *testing.B) { RunBenchmarkDisabledCounterInc(b) }
+
+func BenchmarkTimelineRecord(b *testing.B) { RunBenchmarkTimelineRecord(b) }

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// Exported Run* benchmark bodies so the perf-baseline tooling
+// (internal/bench, `sagebench -perf`) can measure the hot-path instrument
+// updates with testing.Benchmark; the package's Benchmark* functions
+// delegate here.
+
+// RunBenchmarkCounterInc measures a live counter increment — the dedicated
+// 0 allocs/op acceptance benchmark for hot-path metric updates.
+func RunBenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("c_total", "", "site").With("s")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// RunBenchmarkGaugeSet measures a live gauge store.
+func RunBenchmarkGaugeSet(b *testing.B) {
+	g := NewRegistry().Gauge("g", "", "site").With("s")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+// RunBenchmarkHistogramObserve measures a live histogram observation over
+// the default bucket layout.
+func RunBenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h_seconds", "", DefBuckets, "site").With("s")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 127))
+	}
+}
+
+// RunBenchmarkDisabledCounterInc measures the no-op handle — the cost the
+// instrumented subsystems pay when observability is off.
+func RunBenchmarkDisabledCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// RunBenchmarkTimelineRecord measures a span append into the flight
+// recorder ring.
+func RunBenchmarkTimelineRecord(b *testing.B) {
+	tl := NewTimeline(1 << 12)
+	s := Span{Phase: PhaseChunk, Site: "tokyo", Peer: "paris", Start: time.Second, Bytes: 1 << 20}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tl.Record(s)
+	}
+}

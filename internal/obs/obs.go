@@ -1,0 +1,55 @@
+// Package obs is SAGE's unified observability layer: a zero-allocation
+// metrics registry, a phase-span timeline ("flight recorder") over the
+// scheduler decision loop and transfer lifecycle, and exporters for the two
+// formats operators actually load — Prometheus text and Chrome trace_event
+// JSON (Perfetto).
+//
+// The design splits cost between a cold registration path and a free hot
+// path, the same interning discipline as stream.KeyTable: instruments are
+// pre-registered into vectors addressed by dense IDs, label sets resolve
+// once to a handle, and every hot-path update is a single atomic operation
+// on the handle's cell. Handles are nil-safe values — a subsystem built
+// without an Observer holds zero handles whose methods are no-op branches —
+// so the whole layer can be compiled in permanently and gated behind one
+// engine option with no behavioural or allocation cost when disabled.
+//
+// Concurrency: the Registry and its handles are safe for concurrent use
+// from any number of goroutines (parallel simulations share one registry);
+// the Timeline serializes recording with a mutex, which is cheap at its
+// per-window/per-transfer call rate.
+package obs
+
+// Observer bundles the two recording surfaces a subsystem is wired with.
+// A nil *Observer disables the layer: the nil-safe accessors below return
+// nil recorders, which in turn hand out no-op handles.
+type Observer struct {
+	// Metrics is the shared metrics registry.
+	Metrics *Registry
+	// Timeline is the bounded flight recorder of phase spans.
+	Timeline *Timeline
+}
+
+// DefaultTimelineCap is the flight-recorder ring capacity NewObserver uses.
+const DefaultTimelineCap = 1 << 15
+
+// NewObserver returns an Observer with a fresh registry and a
+// DefaultTimelineCap-span flight recorder.
+func NewObserver() *Observer {
+	return &Observer{Metrics: NewRegistry(), Timeline: NewTimeline(DefaultTimelineCap)}
+}
+
+// Registry returns the observer's metrics registry, nil when o is nil.
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// Spans returns the observer's timeline, nil when o is nil.
+func (o *Observer) Spans() *Timeline {
+	if o == nil {
+		return nil
+	}
+	return o.Timeline
+}

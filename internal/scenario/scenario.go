@@ -244,7 +244,7 @@ func (s *Scenario) Run() (*Result, error) {
 	if s.CrossTraffic > 0 {
 		opt.Net.CrossTrafficMeanGap = time.Duration(s.CrossTraffic)
 	}
-	e := core.NewEngine(opt)
+	e := core.NewEngine(core.WithOptions(opt))
 	workers := s.Workers
 	if len(workers) == 0 {
 		workers = map[string]int{"Medium": 8}

@@ -39,6 +39,10 @@ const (
 // Event is one timeline record. Fields beyond Kind and At are free-form but
 // conventional: Site/Peer name locations, Bytes sizes, Value carries a
 // kind-specific number (duration seconds, throughput, ...).
+//
+// Emission sites should build events with the typed New* constructors, which
+// pin those conventions per kind; constructing literals directly when
+// emitting is deprecated (decoding into Event is of course fine).
 type Event struct {
 	At    time.Duration `json:"at"`
 	Kind  Kind          `json:"kind"`
@@ -87,6 +91,9 @@ func (r *Recorder) Record(e Event) {
 }
 
 // Recordf is a convenience for events with a formatted note.
+//
+// Deprecated: use the typed New* constructors with Record so the per-kind
+// field conventions stay pinned.
 func (r *Recorder) Recordf(at time.Duration, kind Kind, site, peer string, bytes int64, value float64, format string, args ...any) {
 	if !r.enabled {
 		return

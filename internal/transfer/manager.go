@@ -10,6 +10,7 @@ import (
 	"sage/internal/model"
 	"sage/internal/monitor"
 	"sage/internal/netsim"
+	"sage/internal/obs"
 	"sage/internal/route"
 	"sage/internal/simtime"
 	"sage/internal/trace"
@@ -167,6 +168,9 @@ type Options struct {
 	Params model.Params
 	// Trace, when non-nil, records transfer lifecycle events.
 	Trace *trace.Recorder
+	// Obs, when non-nil, exports per-link transfer counters and duration
+	// histograms, and records transfer-lifecycle spans on the timeline.
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -195,20 +199,28 @@ type Manager struct {
 	pools    map[cloud.SiteID][]*netsim.Node
 	poolNext map[cloud.SiteID]int
 	nextID   uint64
+
+	// met / lm are the observability families and the per-link handle cache
+	// (zero/nil when the layer is off).
+	met transferMetrics
+	lm  map[[2]cloud.SiteID]*linkMetrics
 }
 
 // NewManager builds a Manager. mon may be nil, in which case planning falls
 // back to the topology's nominal link baselines and no transfer feedback is
 // recorded.
 func NewManager(net *netsim.Network, mon *monitor.Service, opt Options) *Manager {
+	opt = opt.withDefaults()
 	return &Manager{
 		net:   net,
 		mon:   mon,
 		sched: net.Scheduler(),
-		opt:   opt.withDefaults(),
+		opt:   opt,
 		pools: make(map[cloud.SiteID][]*netsim.Node),
 
 		poolNext: make(map[cloud.SiteID]int),
+		met:      newTransferMetrics(opt.Obs.Registry()),
+		lm:       make(map[[2]cloud.SiteID]*linkMetrics),
 	}
 }
 
@@ -271,16 +283,12 @@ func (m *Manager) observe(from, to cloud.SiteID, mbps float64) {
 	}
 }
 
-// emit records a trace event when tracing is configured.
-func (m *Manager) emit(kind trace.Kind, from, to cloud.SiteID, bytes int64, value float64, note string) {
+// record emits a typed trace event when tracing is configured.
+func (m *Manager) record(e trace.Event) {
 	if m.opt.Trace == nil {
 		return
 	}
-	m.opt.Trace.Record(trace.Event{
-		At: m.sched.Now(), Kind: kind,
-		Site: string(from), Peer: string(to),
-		Bytes: bytes, Value: value, Note: note,
-	})
+	m.opt.Trace.Record(e)
 }
 
 // Handle tracks an in-progress transfer.
@@ -364,6 +372,7 @@ func (m *Manager) Transfer(req Request, onDone func(Result)) (*Handle, error) {
 		seen:   make(map[uint64]bool),
 		nodes:  make(map[string]*netsim.Node),
 		egress: make(map[cloud.SiteID]int64),
+		lm:     m.link(req.From, req.To),
 	}
 	if req.Resume != nil {
 		if req.Resume.From != req.From || req.Resume.To != req.To || req.Resume.Size != req.Size {
@@ -415,14 +424,21 @@ func (m *Manager) Transfer(req Request, onDone func(Result)) (*Handle, error) {
 		// Every chunk was already acknowledged before the interruption.
 		// Complete asynchronously so the Handle is returned before onDone
 		// fires, matching the normal callback ordering.
-		m.emit(trace.TransferStart, req.From, req.To, req.Size, 0, req.Strategy.String())
+		m.record(trace.NewTransferStart(m.sched.Now(), string(req.From), string(req.To), req.Size, req.Strategy.String()))
+		if t.lm != nil {
+			t.lm.started.Inc()
+		}
 		m.sched.After(0, t.finish)
 		return &Handle{run: t}, nil
 	}
 	if err := t.plan(); err != nil {
 		return nil, err
 	}
-	m.emit(trace.TransferStart, req.From, req.To, req.Size, 0, req.Strategy.String())
+	m.record(trace.NewTransferStart(m.sched.Now(), string(req.From), string(req.To), req.Size, req.Strategy.String()))
+	if t.lm != nil {
+		t.lm.started.Inc()
+		m.opt.Obs.Spans().Route(m.sched.Now(), string(req.From), string(req.To), len(t.lanes), t.id)
+	}
 	if req.Strategy.Dynamic() {
 		t.replanTick = m.sched.NewTicker(m.opt.ReplanInterval, func(simtime.Time) { t.replan() })
 	}
@@ -464,6 +480,9 @@ type transferRun struct {
 	started    simtime.Time
 	finished   bool
 	replanTick *simtime.Ticker
+	// lm is the link's cached metric handle set (nil when observability is
+	// off); spans also key off it so the hot paths test one pointer.
+	lm *linkMetrics
 }
 
 // plan builds the initial lane set for the request's strategy.
@@ -563,7 +582,10 @@ func (t *transferRun) fill() {
 		t.pending = t.pending[1:]
 		if c.attempts > 0 {
 			t.stats.Retransmits++
-			t.m.emit(trace.Retransmit, t.req.From, t.req.To, c.size, float64(c.attempts), "")
+			t.m.record(trace.NewRetransmit(t.m.sched.Now(), string(t.req.From), string(t.req.To), c.size, c.attempts))
+			if t.lm != nil {
+				t.lm.retransmits.Inc()
+			}
 		}
 		c.attempts++
 		l.accept(c)
@@ -661,8 +683,11 @@ func (t *transferRun) requeue(c *chunk, from *lane) {
 				}
 				t.lanes = append(t.lanes, lanes...)
 				t.stats.Replans++
-				t.m.emit(trace.Replan, t.req.From, t.req.To, 0,
-					float64(t.stats.Replans), "self-heal")
+				t.m.record(trace.NewReplan(t.m.sched.Now(), string(t.req.From), string(t.req.To),
+					t.stats.Replans, "self-heal"))
+				if t.lm != nil {
+					t.lm.replans.Inc()
+				}
 			}
 		}
 	}
@@ -676,11 +701,17 @@ func (t *transferRun) acked(c *chunk) {
 		return
 	}
 	t.stats.Acks++
+	if t.lm != nil {
+		t.lm.acks.Inc()
+	}
 	if t.seen[c.hash] {
 		t.stats.Duplicates++
 		return
 	}
 	t.seen[c.hash] = true
+	if t.lm != nil {
+		t.m.opt.Obs.Spans().Chunk(t.m.sched.Now(), string(t.req.From), string(t.req.To), c.size, t.id)
+	}
 	t.ackedCount++
 	t.ackedBytes += c.size
 	t.ackedIdx = append(t.ackedIdx, c.index)
@@ -700,7 +731,10 @@ func (t *transferRun) replan() {
 		return // keep current lanes; the environment may recover
 	}
 	t.stats.Replans++
-	t.m.emit(trace.Replan, t.req.From, t.req.To, 0, float64(t.stats.Replans), t.req.Strategy.String())
+	t.m.record(trace.NewReplan(t.m.sched.Now(), string(t.req.From), string(t.req.To), t.stats.Replans, t.req.Strategy.String()))
+	if t.lm != nil {
+		t.lm.replans.Inc()
+	}
 	// Drain current lanes and discard the ones that are already idle.
 	kept := t.lanes[:0]
 	for _, l := range t.lanes {
@@ -759,8 +793,14 @@ func (t *transferRun) finish() {
 		}
 	}
 	t.stats.Cost = cost
-	t.m.emit(trace.TransferDone, t.req.From, t.req.To, t.stats.Bytes,
-		dur.Seconds(), t.req.Strategy.String())
+	t.m.record(trace.NewTransferDone(t.m.sched.Now(), string(t.req.From), string(t.req.To), t.stats.Bytes,
+		dur, t.req.Strategy.String()))
+	if t.lm != nil {
+		t.lm.bytes.Add(t.stats.Bytes)
+		t.lm.seconds.Observe(dur.Seconds())
+		t.m.opt.Obs.Spans().TransferSpan(t.started, t.m.sched.Now(),
+			string(t.req.From), string(t.req.To), t.stats.Bytes, t.id)
+	}
 	if t.onDone != nil {
 		t.onDone(t.stats)
 	}

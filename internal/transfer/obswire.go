@@ -1,0 +1,62 @@
+package transfer
+
+import (
+	"sage/internal/cloud"
+	"sage/internal/obs"
+)
+
+// transferMetrics holds the manager's instrument families; the zero value
+// (observability disabled) hands out no-op handles.
+type transferMetrics struct {
+	started     obs.CounterVec   // from,to: transfers dispatched
+	bytes       obs.CounterVec   // from,to: payload bytes delivered
+	acks        obs.CounterVec   // from,to: chunk acknowledgements
+	retransmits obs.CounterVec   // from,to: chunks re-sent
+	replans     obs.CounterVec   // from,to: lane replans
+	seconds     obs.HistogramVec // from,to: transfer wall time
+}
+
+func newTransferMetrics(r *obs.Registry) transferMetrics {
+	return transferMetrics{
+		started:     r.Counter("sage_transfers_started_total", "wide-area transfers dispatched", "from", "to"),
+		bytes:       r.Counter("sage_transfer_bytes_total", "payload bytes delivered", "from", "to"),
+		acks:        r.Counter("sage_chunk_acks_total", "chunk acknowledgements", "from", "to"),
+		retransmits: r.Counter("sage_retransmits_total", "chunks re-sent after loss or timeout", "from", "to"),
+		replans:     r.Counter("sage_replans_total", "lane replans (periodic and self-heal)", "from", "to"),
+		seconds:     r.Histogram("sage_transfer_seconds", "transfer wall time", obs.DefBuckets, "from", "to"),
+	}
+}
+
+// linkMetrics is the per-link handle set, resolved once per (from, to) pair
+// and cached on the manager so per-chunk updates stay off the interning path.
+type linkMetrics struct {
+	started     obs.Counter
+	bytes       obs.Counter
+	acks        obs.Counter
+	retransmits obs.Counter
+	replans     obs.Counter
+	seconds     obs.Histogram
+}
+
+// link returns the cached handle set for a directed link, nil when
+// observability is off — callers nil-check once per transfer, not per chunk.
+func (m *Manager) link(from, to cloud.SiteID) *linkMetrics {
+	if m.opt.Obs == nil {
+		return nil
+	}
+	key := [2]cloud.SiteID{from, to}
+	if lm, ok := m.lm[key]; ok {
+		return lm
+	}
+	f, t := string(from), string(to)
+	lm := &linkMetrics{
+		started:     m.met.started.With(f, t),
+		bytes:       m.met.bytes.With(f, t),
+		acks:        m.met.acks.With(f, t),
+		retransmits: m.met.retransmits.With(f, t),
+		replans:     m.met.replans.With(f, t),
+		seconds:     m.met.seconds.With(f, t),
+	}
+	m.lm[key] = lm
+	return lm
+}
