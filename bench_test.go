@@ -64,3 +64,4 @@ func BenchmarkExp16LossyStreaming(b *testing.B) { runExp(b, 16) }
 func BenchmarkExp17DeadlineCalib(b *testing.B)  { runExp(b, 17) }
 func BenchmarkExp18Worldwide(b *testing.B)      { runExp(b, 18) }
 func BenchmarkExp19Recovery(b *testing.B)       { runExp(b, 19) }
+func BenchmarkExp20Scale(b *testing.B)          { runExp(b, 20) }

@@ -13,7 +13,8 @@
 //	sagebench -exp 3
 //	sagebench -quick -seed 7
 //	sagebench -exp 9 -csv > f9.csv
-//	sagebench -perf                       # rewrites BENCH_netsim.json + BENCH_stream.json + BENCH_obs.json
+//	sagebench -perf                       # rewrites BENCH_netsim.json + BENCH_stream.json + BENCH_obs.json + BENCH_scale.json
+//	sagebench -exp 20 -shards 4           # scale experiment on a 4-shard core
 //	sagebench -quick -cpuprofile cpu.out  # profile the whole quick suite
 package main
 
@@ -39,6 +40,10 @@ func main() {
 		perfOut       = flag.String("perf-out", "BENCH_netsim.json", "output path for the netsim -perf baseline")
 		perfStreamOut = flag.String("perf-stream-out", "BENCH_stream.json", "output path for the stream -perf baseline")
 		perfObsOut    = flag.String("perf-obs-out", "BENCH_obs.json", "output path for the observability -perf baseline")
+		perfScaleOut  = flag.String("perf-scale-out", "BENCH_scale.json", "output path for the shard-scaling -perf baseline")
+		shards        = flag.Int("shards", 0, "event-core shards for every experiment (0 = 1 or $SAGE_SHARDS; results are byte-identical for any count)")
+		worldSites    = flag.Int("world-sites", 0, "override the generated-world site count of the scale experiment")
+		worldRegions  = flag.Int("world-regions", 0, "override the generated-world region count of the scale experiment")
 		cpuprofile    = flag.String("cpuprofile", "", "write CPU profile to file")
 		memprofile    = flag.String("memprofile", "", "write heap profile to file")
 	)
@@ -128,10 +133,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "exp19 quick: %.1f ms off, %.1f ms on (%+.2f%%)\n",
 			o.Exp19RecoveryMillisOff, o.Exp19RecoveryMillisOn, o.Exp19ObsOverheadPct)
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *perfObsOut)
+
+		fmt.Fprintln(os.Stderr, "measuring shard-scaling baseline (120-site world at 1/2/4/8 shards)...")
+		sc := bench.RunScalePerfBaseline()
+		if err := os.WriteFile(*perfScaleOut, sc.JSON(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sagebench: %v\n", err)
+			os.Exit(1)
+		}
+		mk := sc.Benchmarks["MillionKeyPipeline"]
+		fmt.Fprintf(os.Stderr, "%-26s %12.0f ns/op %6d allocs/op\n", "MillionKeyPipeline", mk.NsPerOp, mk.AllocsPerOp)
+		for _, r := range sc.Runs {
+			fmt.Fprintf(os.Stderr, "scale shards=%d: %8.1f ms wall, %d stage rounds\n", r.Shards, r.Millis, r.StageRounds)
+		}
+		fmt.Fprintf(os.Stderr, "speedup at 4 shards: %.2fx on %d cores (GOMAXPROCS=%d)\n",
+			sc.SpeedupAt4Shards, sc.Cores, sc.GOMAXPROCS)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *perfScaleOut)
 		return
 	}
 
-	cfg := bench.Config{Seed: *seed, Quick: *quick}
+	cfg := bench.Config{Seed: *seed, Quick: *quick,
+		Shards: *shards, WorldSites: *worldSites, WorldRegions: *worldRegions}
 	run := func(e bench.Experiment) {
 		start := time.Now()
 		fmt.Fprintf(os.Stderr, "running %d/%s (%s)...\n", e.ID, e.Name, e.Figure)

@@ -6,6 +6,13 @@
 //
 //	sagesim -sources NEU,WEU,SUS -sink NUS -rate 1000 -window 30s \
 //	        -minutes 10 -strategy envaware -budget 0.02
+//
+// -world-sites N swaps the built-in topology for a generated N-site world
+// (sink defaults to the region-0 hub, sources to every other site), and
+// -shards K runs the event core on K parallel shards — results are
+// byte-identical for every K:
+//
+//	sagesim -world-sites 200 -world-regions 8 -shards 4 -rate 100 -minutes 5
 package main
 
 import (
@@ -50,8 +57,14 @@ func main() {
 		workers   = flag.Int("workers", 8, "worker VMs per site")
 		tracePath = flag.String("trace", "", "write the run's event timeline as JSON Lines to this file")
 		ckptEvery = flag.Duration("checkpoint-interval", 0, "enable resilience: checkpoint operator state at this interval (0 = off)")
+
+		shards       = flag.Int("shards", 1, "event-core shards (1 = sequential; any count gives byte-identical results)")
+		worldSites   = flag.Int("world-sites", 0, "simulate a generated world with this many sites (0 = the built-in topology)")
+		worldRegions = flag.Int("world-regions", 4, "regions of the generated world (used with -world-sites)")
 	)
 	flag.Parse()
+	explicit := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	if *scenarioPath != "" {
 		runScenario(*scenarioPath)
@@ -67,7 +80,26 @@ func main() {
 	if *tracePath != "" {
 		rec = trace.New(1 << 20)
 	}
-	e := core.NewEngine(core.WithOptions(core.Options{Seed: *seed, Trace: rec}))
+	opt := core.Options{Seed: *seed, Trace: rec, Shards: *shards}
+	if *worldSites > 0 {
+		// Generated world: unless overridden, sink at the region-0 hub and
+		// every other site streaming toward it.
+		world := cloud.GenerateWorld(*worldSites, *worldRegions, *seed)
+		opt.Topology = world
+		if !explicit["sink"] {
+			*sink = string(cloud.GeneratedHub(0))
+		}
+		if !explicit["sources"] {
+			var ids []string
+			for _, id := range world.SiteIDs() {
+				if string(id) != *sink {
+					ids = append(ids, string(id))
+				}
+			}
+			*sources = strings.Join(ids, ",")
+		}
+	}
+	e := core.NewEngine(core.WithOptions(opt))
 	e.DeployEverywhere(cloud.Medium, *workers)
 	e.Sched.RunFor(time.Minute) // monitor learning
 

@@ -11,8 +11,11 @@ package bench
 
 import (
 	"fmt"
+	"os"
 	"runtime"
+	"runtime/debug"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -31,12 +34,36 @@ type Config struct {
 	Seed uint64
 	// Quick shrinks durations/sizes for CI and Go benchmarks.
 	Quick bool
+	// Shards is the event-core shard count every experiment engine runs
+	// with (default 1 = sequential). Experiment output is byte-identical
+	// for any value — that property is pinned by test — so this is purely
+	// a wall-clock lever. The SAGE_SHARDS environment variable supplies a
+	// default when the field is zero, so CI can sweep the whole suite
+	// under sharding without threading flags through every harness.
+	Shards int
+	// WorldSites/WorldRegions override the generated world used by the
+	// scale experiment (0 = the experiment's own default size).
+	WorldSites, WorldRegions int
 }
 
 func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Shards <= 0 {
+		if v, err := strconv.Atoi(os.Getenv("SAGE_SHARDS")); err == nil && v > 0 {
+			c.Shards = v
+		} else {
+			c.Shards = 1
+		}
+	}
+	return c
+}
+
+// reseeded returns the config with a replacement seed — for experiments
+// that run independent repetitions off derived seeds.
+func (c Config) reseeded(seed uint64) Config {
+	c.Seed = seed
 	return c
 }
 
@@ -95,43 +122,68 @@ func ByID(id int) (Experiment, bool) {
 
 // newEngine builds a standard engine on the default Azure topology. With
 // variability=false the network is deterministic and exact; with true it
-// runs the full OU + glitch processes.
-func newEngine(seed uint64, variability bool) *core.Engine {
+// runs the full OU + glitch processes. The config's seed and shard count
+// carry through to the engine.
+func newEngine(cfg Config, variability bool) *core.Engine {
 	nopt := netsim.Options{}
 	if !variability {
 		nopt = netsim.Options{GlitchMeanGap: -1, ProbeNoise: 1e-9}
 	}
 	e := core.NewEngine(core.WithOptions(core.Options{
-		Seed:    seed,
+		Seed:    cfg.Seed,
 		Net:     nopt,
 		Monitor: monitor.Options{Interval: 30 * time.Second},
 		Params:  model.Default(),
+		Shards:  cfg.Shards,
 	}), core.WithObservability(observer()))
 	return e
 }
 
 // deployedEngine returns a standard engine (variability as requested) with
 // workersPerSite Medium workers deployed in every site.
-func deployedEngine(seed uint64, variability bool, workersPerSite int) *core.Engine {
-	e := newEngine(seed, variability)
+func deployedEngine(cfg Config, variability bool, workersPerSite int) *core.Engine {
+	e := newEngine(cfg, variability)
 	e.DeployEverywhere(cloud.Medium, workersPerSite)
 	return e
 }
 
-// parMap runs fn(i) for i in [0, n) on up to GOMAXPROCS goroutines. Each
+// parMap runs fn(i) for i in [0, n) on min(n, GOMAXPROCS) goroutines. Each
 // invocation must be self-contained (own engine/scheduler); results must be
 // written to pre-indexed slots so output order is deterministic.
+//
+// A panic inside any fn is recovered on its worker, remembered with the
+// failing index, and re-raised from the calling goroutine after all workers
+// drain — so a crashing experiment reports *which* task died instead of
+// taking down the process from an anonymous goroutine (which would also skip
+// the caller's deferred cleanup). When several tasks panic in one sweep, the
+// lowest index deterministically wins. Tasks dispatched after the first
+// panic are skipped: their results would be discarded anyway.
 func parMap(n int, fn func(i int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
+	run := func(i int) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				panic(fmt.Sprintf("bench: parMap task %d panicked: %v\n%s", i, r, debug.Stack()))
+			}
+		}()
+		fn(i)
+		return true
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			run(i)
 		}
 		return
 	}
+	var (
+		mu        sync.Mutex
+		failIdx   = -1
+		failVal   any
+		failStack []byte
+	)
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -139,7 +191,24 @@ func parMap(n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				mu.Lock()
+				skip := failIdx >= 0
+				mu.Unlock()
+				if skip {
+					continue
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if failIdx < 0 || i < failIdx {
+								failIdx, failVal, failStack = i, r, debug.Stack()
+							}
+							mu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
 			}
 		}()
 	}
@@ -148,6 +217,9 @@ func parMap(n int, fn func(i int)) {
 	}
 	close(next)
 	wg.Wait()
+	if failIdx >= 0 {
+		panic(fmt.Sprintf("bench: parMap task %d panicked: %v\n%s", failIdx, failVal, failStack))
+	}
 }
 
 // mb formats a byte count in whole megabytes for row labels.

@@ -58,6 +58,7 @@ func expAblationWSI(cfg Config) []*stats.Table {
 			Net:     netsim.Options{ProbeNoise: 0.15, OUTheta: 1.0 / 1800, ProbeOutlierProb: 0.10},
 			Monitor: monitor.Options{Interval: 30 * time.Second, Factory: factories[i%len(factories)].factory},
 			Params:  model.Default(),
+			Shards:  cfg.Shards,
 		}), core.WithObservability(observer()))
 		e.DeployEverywhere(cloud.Medium, 10)
 		// Let every estimator pass its learning transient before the job.
@@ -123,7 +124,7 @@ func expAblationChunk(cfg Config) []*stats.Table {
 	}
 	results := make([]cell, len(chunkSizes))
 	parMap(len(chunkSizes), func(i int) {
-		e := deployedEngine(cfg.Seed, true, 8)
+		e := deployedEngine(cfg, true, 8)
 		e.Sched.RunFor(time.Minute)
 		res, ok := oneTransfer(e, transfer.Request{
 			From: cloud.NorthEU, To: cloud.NorthUS, Size: size,

@@ -52,7 +52,7 @@ func expApplication(cfg Config) []*stats.Table {
 		fi := i / 2
 		mode := i % 2
 		if mode == 0 {
-			e := deployedEngine(cfg.Seed, true, 8)
+			e := deployedEngine(cfg, true, 8)
 			e.Sched.RunFor(time.Minute)
 			rep, err := e.Gather(core.GatherSpec{
 				Partials: workload.Partials{Sites: sites, Files: files, FileBytes: fileSizes[fi]},
@@ -66,7 +66,7 @@ func expApplication(cfg Config) []*stats.Table {
 			return
 		}
 		// Blob staging: each site relays its files through the store.
-		e := deployedEngine(cfg.Seed, true, 8)
+		e := deployedEngine(cfg, true, 8)
 		store := baseline.NewBlobStore(e.Net, sink, baseline.BlobOptions{})
 		remaining := 0
 		var makespan time.Duration
@@ -141,7 +141,7 @@ func expStreamLatency(cfg Config) []*stats.Table {
 	parMap(len(results), func(i int) {
 		ri := i / len(modes)
 		mi := i % len(modes)
-		e := deployedEngine(cfg.Seed, true, 8)
+		e := deployedEngine(cfg, true, 8)
 		e.Sched.RunFor(time.Minute)
 		job := core.JobSpec{
 			Sources: []core.SourceSpec{

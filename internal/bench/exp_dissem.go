@@ -41,7 +41,7 @@ func expDissemination(cfg Config) []*stats.Table {
 	parMap(len(results), func(i int) {
 		di := i / 2
 		tree := i%2 == 1
-		e := deployedEngine(cfg.Seed, true, 12)
+		e := deployedEngine(cfg, true, 12)
 		e.Sched.RunFor(time.Minute)
 		var res *transfer.DisseminateResult
 		err := e.Mgr.Disseminate(transfer.DisseminateRequest{

@@ -51,7 +51,7 @@ func expLossyStreaming(cfg Config) []*stats.Table {
 	parMap(len(results), func(i int) {
 		wi := i / 2
 		lossy := i%2 == 1
-		e := core.NewEngine(core.WithOptions(core.Options{Seed: cfg.Seed, Net: weathers[wi].net, Params: model.Default()}), core.WithObservability(observer()))
+		e := core.NewEngine(core.WithOptions(core.Options{Seed: cfg.Seed, Net: weathers[wi].net, Params: model.Default(), Shards: cfg.Shards}), core.WithObservability(observer()))
 		e.DeployEverywhere(cloud.Medium, 8)
 		e.Sched.RunFor(time.Minute)
 		job := core.JobSpec{
@@ -130,6 +130,7 @@ func expDeadlineCalibration(cfg Config) []*stats.Table {
 				CapacityFloor: 0.95, CapacityCeil: 1.05},
 			Params:   par,
 			Transfer: transfer.Options{ChunkBytes: 16 << 20},
+			Shards:   cfg.Shards,
 		}), core.WithObservability(observer()))
 		e.DeployEverywhere(cloud.Medium, 12)
 		e.Sched.RunFor(time.Minute)

@@ -34,7 +34,7 @@ func init() {
 // expThroughputMap reproduces the monitoring agent's live inter-site map.
 func expThroughputMap(cfg Config) []*stats.Table {
 	cfg = cfg.withDefaults()
-	e := newEngine(cfg.Seed, true)
+	e := newEngine(cfg, true)
 	warm := 30 * time.Minute
 	if cfg.Quick {
 		warm = 5 * time.Minute

@@ -46,7 +46,7 @@ func expModelError(cfg Config) []*stats.Table {
 	parMap(len(results), func(i int) {
 		p := pairs[i/len(nodeCounts)]
 		n := nodeCounts[i%len(nodeCounts)]
-		e := deployedEngine(cfg.Seed, false, 10)
+		e := deployedEngine(cfg, false, 10)
 		e.Sched.RunFor(2 * time.Minute) // learn the links
 		est, _ := e.Monitor.Estimate(p.from, p.to)
 		par := e.Params
@@ -116,7 +116,7 @@ func expBudgetSolver(cfg Config) []*stats.Table {
 	}
 	results := make([]cell, len(budgets))
 	parMap(len(budgets), func(i int) {
-		e := deployedEngine(cfg.Seed, false, 12)
+		e := deployedEngine(cfg, false, 12)
 		e.Sched.RunFor(2 * time.Minute)
 		est, _ := e.Monitor.Estimate(cloud.NorthEU, cloud.NorthUS)
 		par := e.Params

@@ -70,6 +70,7 @@ func runWindowed(cfg Config, strategy transfer.Strategy, nodes int, window time.
 		},
 		Monitor: monitor.Options{Interval: 15 * time.Second},
 		Params:  model.Default(),
+		Shards:  cfg.Shards,
 	}), core.WithObservability(observer()))
 	e.DeployEverywhere(cloud.Medium, nodes+8)
 	e.Sched.RunFor(time.Minute) // monitor warm-up

@@ -67,6 +67,7 @@ func expRecovery(cfg Config) []*stats.Table {
 			Monitor:  monitor.Options{Interval: 30 * time.Second},
 			Transfer: transfer.Options{ChunkBytes: 1 << 20},
 			Params:   model.Default(),
+			Shards:   cfg.Shards,
 		}), core.WithObservability(observer()))
 		e.DeployEverywhere(cloud.Medium, 8)
 		e.Sched.RunFor(warmup)

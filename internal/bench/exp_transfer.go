@@ -63,7 +63,7 @@ func expIntrusiveness(cfg Config) []*stats.Table {
 	parMap(len(results), func(i int) {
 		intr := intrs[i/len(lanes)]
 		n := lanes[i%len(lanes)]
-		e := deployedEngine(cfg.Seed, false, 8)
+		e := deployedEngine(cfg, false, 8)
 		res, ok := oneTransfer(e, transfer.Request{
 			From: cloud.NorthEU, To: cloud.NorthUS, Size: size,
 			Strategy: transfer.EnvAware, Lanes: n, Intr: intr,
@@ -100,7 +100,7 @@ func expCostTime(cfg Config) []*stats.Table {
 	}
 	results := make([]cell, maxN)
 	parMap(maxN, func(i int) {
-		e := deployedEngine(cfg.Seed, false, 12)
+		e := deployedEngine(cfg, false, 12)
 		res, ok := oneTransfer(e, transfer.Request{
 			From: cloud.NorthEU, To: cloud.NorthUS, Size: size,
 			Strategy: transfer.EnvAware, Lanes: i + 1, Intr: 0.5,
@@ -162,7 +162,7 @@ func expEnvAware(cfg Config) []*stats.Table {
 		st := ci % len(strategies)
 		s := (ci / len(strategies)) % len(sizes)
 		p := ci / (len(strategies) * len(sizes))
-		e := deployedEngine(cfg.Seed+uint64(rep)*101, true, 8)
+		e := deployedEngine(cfg.reseeded(cfg.Seed+uint64(rep)*101), true, 8)
 		// Degrade 2 of the source pool's nodes shortly into the transfer.
 		e.Sched.After(8*time.Second, func() {
 			pool := e.Mgr.Pool(pairs[p].from)
@@ -220,7 +220,7 @@ func expBaselines(cfg Config) []*stats.Table {
 		size := sizes[si]
 		switch options[oi] {
 		case "BlobRelay":
-			e := deployedEngine(cfg.Seed, true, 8)
+			e := deployedEngine(cfg, true, 8)
 			store := baseline.NewBlobStore(e.Net, cloud.NorthUS, baseline.BlobOptions{})
 			src := e.Net.NewNode(cloud.NorthEU, cloud.Medium)
 			dst := e.Net.NewNode(cloud.NorthUS, cloud.Medium)
@@ -246,7 +246,7 @@ func expBaselines(cfg Config) []*stats.Table {
 				req = transfer.Request{Strategy: transfer.MultipathDynamic, NodeBudget: 8}
 			}
 			req.From, req.To, req.Size, req.Intr = cloud.NorthEU, cloud.NorthUS, size, 1
-			e := deployedEngine(cfg.Seed, true, 8)
+			e := deployedEngine(cfg, true, 8)
 			e.Sched.RunFor(time.Minute) // monitor warm-up
 			if res, ok := oneTransfer(e, req, 96*time.Hour); ok {
 				results[i] = cell{res.Duration, res.Cost, true}

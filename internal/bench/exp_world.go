@@ -23,13 +23,14 @@ func init() {
 }
 
 // worldEngine builds an engine on the 9-site worldwide topology.
-func worldEngine(seed uint64, workers int) *core.Engine {
+func worldEngine(cfg Config, workers int) *core.Engine {
 	e := core.NewEngine(core.WithOptions(core.Options{
-		Seed:     seed,
+		Seed:     cfg.Seed,
 		Topology: cloud.WorldWide(),
 		Net:      netsim.Options{},
 		Monitor:  monitor.Options{Interval: 30 * time.Second},
 		Params:   model.Default(),
+		Shards:   cfg.Shards,
 	}), core.WithObservability(observer()))
 	e.DeployEverywhere(cloud.Medium, workers)
 	return e
@@ -56,7 +57,7 @@ func expWorldwide(cfg Config) []*stats.Table {
 	}
 	results := make([]cell, len(strategies))
 	parMap(len(strategies), func(i int) {
-		e := worldEngine(cfg.Seed, 10)
+		e := worldEngine(cfg, 10)
 		e.Sched.RunFor(2 * time.Minute)
 		rep, err := e.Gather(core.GatherSpec{
 			Partials: workload.Partials{Sites: sites, Files: files, FileBytes: fileBytes},

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestScalePerfBaselineFileValid guards the committed BENCH_scale.json:
+// it must parse, cover the full shard sweep on a ≥100-site world, and hold
+// the machine-independent budget — the million-key pipeline allocates
+// nothing per op in steady state. The wall-clock speedup budget (≥2.5x at
+// 4 shards) is a parallelism claim, so it is enforced only when the
+// committed baseline was measured on a host with at least 4 cores; a
+// single-core recording documents determinism overhead, not scaling.
+func TestScalePerfBaselineFileValid(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_scale.json"))
+	if err != nil {
+		t.Fatalf("missing scale baseline (regenerate with `go run ./cmd/sagebench -perf`): %v", err)
+	}
+	var p ScaleBaseline
+	if err := json.Unmarshal(raw, &p); err != nil {
+		t.Fatalf("BENCH_scale.json does not parse: %v", err)
+	}
+	if p.GoVersion == "" || p.GOARCH == "" || p.Cores < 1 || p.GOMAXPROCS < 1 {
+		t.Fatalf("baseline missing toolchain/host stamp: %+v", p)
+	}
+	mk, ok := p.Benchmarks["MillionKeyPipeline"]
+	if !ok {
+		t.Fatal("baseline missing MillionKeyPipeline benchmark")
+	}
+	if mk.NsPerOp <= 0 {
+		t.Fatalf("MillionKeyPipeline has non-positive ns/op: %+v", mk)
+	}
+	if mk.AllocsPerOp != 0 {
+		t.Fatalf("MillionKeyPipeline allocates %d per op in the committed baseline; the million-key steady-state budget is 0", mk.AllocsPerOp)
+	}
+	if p.WorldSites < 100 {
+		t.Fatalf("scaling curve measured on a %d-site world; the budget requires >= 100 sites", p.WorldSites)
+	}
+	seen := make(map[int]ScaleRun)
+	for _, r := range p.Runs {
+		if r.Millis <= 0 || r.Events <= 0 || r.Windows <= 0 {
+			t.Fatalf("degenerate scale run: %+v", r)
+		}
+		seen[r.Shards] = r
+	}
+	for _, shards := range scalePerfShardCounts {
+		r, ok := seen[shards]
+		if !ok {
+			t.Fatalf("baseline missing scale run at %d shards", shards)
+		}
+		// Every run simulates the same world and workload, so the
+		// deterministic outputs must agree across the sweep.
+		if r.Events != seen[1].Events || r.Windows != seen[1].Windows {
+			t.Fatalf("run at %d shards diverges from 1-shard run: %+v vs %+v", shards, r, seen[1])
+		}
+		if shards > 1 && r.StageRounds == 0 {
+			t.Fatalf("run at %d shards reports zero stage rounds; the parallel executor never engaged", shards)
+		}
+	}
+	if p.Cores >= 4 {
+		if p.SpeedupAt4Shards < 2.5 {
+			t.Fatalf("speedup at 4 shards is %.2fx on a %d-core host; the budget is >= 2.5x",
+				p.SpeedupAt4Shards, p.Cores)
+		}
+	} else if p.SpeedupAt4Shards <= 0 {
+		t.Fatalf("baseline missing the 4-shard speedup ratio: %+v", p)
+	}
+}

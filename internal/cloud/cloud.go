@@ -181,6 +181,20 @@ func (t *Topology) Links() []*LinkSpec {
 	return out
 }
 
+// MinWANRTT returns the smallest round-trip latency of any inter-site link,
+// or zero for a linkless topology. It is the conservative lookahead bound
+// for sharded simulation: no cross-site interaction can begin to affect
+// another site in less than the fastest WAN link's RTT.
+func (t *Topology) MinWANRTT() time.Duration {
+	var min time.Duration
+	for _, l := range t.links {
+		if min == 0 || l.RTT < min {
+			min = l.RTT
+		}
+	}
+	return min
+}
+
 // RTT returns the round-trip latency between two sites (IntraRTT when they
 // are equal). It returns false when the sites are distinct and unlinked.
 func (t *Topology) RTT(from, to SiteID) (time.Duration, bool) {

@@ -1,0 +1,97 @@
+package cloud
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// renderWorld flattens a topology into a comparable string.
+func renderWorld(t *Topology) string {
+	out := ""
+	for _, s := range t.Sites() {
+		out += fmt.Sprintf("site %s %s %s %.2f\n", s.ID, s.Name, s.Region, s.EgressPerGB)
+	}
+	for _, l := range t.Links() {
+		out += fmt.Sprintf("link %s->%s %.2fMBps %v %.2f\n", l.From, l.To, l.BaseMBps, l.RTT, l.Jitter)
+	}
+	return out
+}
+
+func TestGenerateWorldDeterministic(t *testing.T) {
+	a := renderWorld(GenerateWorld(60, 5, 42))
+	b := renderWorld(GenerateWorld(60, 5, 42))
+	if a != b {
+		t.Fatal("same (sites, regions, seed) produced different worlds")
+	}
+	c := renderWorld(GenerateWorld(60, 5, 43))
+	if a == c {
+		t.Fatal("different seeds produced identical worlds")
+	}
+}
+
+func TestGenerateWorldStructure(t *testing.T) {
+	const sites, regions = 87, 6
+	w := GenerateWorld(sites, regions, 7)
+	if got := len(w.Sites()); got != sites {
+		t.Fatalf("world has %d sites, want %d", got, sites)
+	}
+	// Directed-link budget: hub mesh + two spokes per (site, hub) pair. This
+	// is the linear-in-sites bound that keeps monitor probing tractable.
+	wantLinks := regions*(regions-1) + 2*(sites-regions)*regions
+	if got := len(w.Links()); got != wantLinks {
+		t.Fatalf("world has %d directed links, want %d", got, wantLinks)
+	}
+	regionSizes := map[string]int{}
+	for i, s := range w.Sites() {
+		regionSizes[s.Region]++
+		if s.EgressPerGB <= 0 {
+			t.Fatalf("site %s has no egress price", s.ID)
+		}
+		// Every site must reach every hub directly (sinks live at hubs).
+		for h := 0; h < regions; h++ {
+			if GeneratedHub(h) == s.ID {
+				continue
+			}
+			l := w.Link(s.ID, GeneratedHub(h))
+			if l == nil {
+				t.Fatalf("site %s has no link to hub %s", s.ID, GeneratedHub(h))
+			}
+			if l.BaseMBps < 3 || l.BaseMBps > 26 {
+				t.Fatalf("link %s->%s capacity %.2f outside the WAN envelope", s.ID, GeneratedHub(h), l.BaseMBps)
+			}
+			if l.RTT < 6*time.Millisecond || l.RTT > 320*time.Millisecond {
+				t.Fatalf("link %s->%s RTT %v outside the WAN envelope", s.ID, GeneratedHub(h), l.RTT)
+			}
+		}
+		if want := GeneratedSiteID(i); s.ID != want {
+			t.Fatalf("site %d has ID %s, want %s", i, s.ID, want)
+		}
+	}
+	if len(regionSizes) != regions {
+		t.Fatalf("world spans %d regions, want %d", len(regionSizes), regions)
+	}
+	if min := w.MinWANRTT(); min < 6*time.Millisecond || min > 20*time.Millisecond {
+		t.Fatalf("MinWANRTT %v; expected a fast regional spoke to set it", min)
+	}
+}
+
+func TestGenerateWorldAllHubs(t *testing.T) {
+	w := GenerateWorld(4, 4, 1)
+	if got, want := len(w.Links()), 4*3; got != want {
+		t.Fatalf("pure hub mesh has %d links, want %d", got, want)
+	}
+}
+
+func TestGenerateWorldRejectsBadShape(t *testing.T) {
+	for _, tc := range [][2]int{{0, 1}, {3, 4}, {5, 0}, {1001, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("GenerateWorld(%d, %d) did not panic", tc[0], tc[1])
+				}
+			}()
+			GenerateWorld(tc[0], tc[1], 1)
+		}()
+	}
+}

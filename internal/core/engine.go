@@ -55,6 +55,27 @@ type Engine struct {
 	// det is the engine-wide heartbeat failure detector, created lazily by
 	// the first resilient job (its config sets the shared heartbeat timing).
 	det *resilience.Detector
+	// shard is the parallel two-phase executor (nil when the engine runs
+	// with one shard); shardBySite maps every topology site to its shard.
+	shard       *simtime.Sharded
+	shardBySite map[cloud.SiteID]int
+}
+
+// Shards returns the engine's shard count (1 = fully sequential core).
+func (e *Engine) Shards() int {
+	if e.shard == nil {
+		return 1
+	}
+	return e.shard.Shards()
+}
+
+// ShardRounds returns how many staging barrier rounds the parallel executor
+// ran (0 for a sequential engine) — a cheap proof that sharding engaged.
+func (e *Engine) ShardRounds() uint64 {
+	if e.shard == nil {
+		return 0
+	}
+	return e.shard.Rounds()
 }
 
 // GainFor returns the gain used for planning transfers out of a site: the
@@ -93,6 +114,15 @@ type Options struct {
 	// subsystem (checkpointing at this interval) for every job started
 	// without its own Resilience config.
 	DefaultCheckpointInterval time.Duration
+	// Shards is the event-core shard count. With Shards > 1 the engine
+	// partitions per-source window processing across sites (site index mod
+	// Shards) and stages the pure half of each window — event generation,
+	// mapping, local aggregation — concurrently across shards under a
+	// conservative lookahead barrier derived from the topology's minimum
+	// WAN RTT, while commits (transfer dispatch, sink merge, reporting)
+	// replay in exact sequential order. Output is byte-identical for every
+	// shard count. 0 or 1 keeps the classic single-threaded core.
+	Shards int
 }
 
 // NewEngine wires a full SAGE stack and starts monitoring. It takes
@@ -123,10 +153,22 @@ func NewEngine(opts ...Option) *Engine {
 	opt.Transfer.Trace = opt.Trace
 	opt.Transfer.Obs = opt.Obs
 	mgr := transfer.NewManager(net, mon, opt.Transfer)
-	return &Engine{Sched: sched, Net: net, Monitor: mon, Mgr: mgr,
+	e := &Engine{Sched: sched, Net: net, Monitor: mon, Mgr: mgr,
 		Params: opt.Params, Calib: NewCalibrator(), Trace: opt.Trace,
 		Obs: opt.Obs, met: newEngineMetrics(opt.Obs.Registry()),
 		defaultCkpt: opt.DefaultCheckpointInterval}
+	if opt.Shards > 1 {
+		lookahead := simtime.Time(opt.Topology.MinWANRTT())
+		if lookahead <= 0 {
+			lookahead = simtime.Time(10 * time.Millisecond)
+		}
+		e.shard = simtime.NewSharded(sched, opt.Shards, lookahead)
+		e.shardBySite = make(map[cloud.SiteID]int)
+		for i, id := range opt.Topology.SiteIDs() {
+			e.shardBySite[id] = i % opt.Shards
+		}
+	}
+	return e
 }
 
 // Deploy provisions worker VMs in one site.
@@ -295,6 +337,23 @@ type sourceState struct {
 	agg     *stream.WindowAgg
 	buf     []stream.Event // event batch buffer, reused across windows
 	shipped int            // partials shipped, drives calibration exploration
+	// pending queues staged window results (appended by the source's stage
+	// on its shard goroutine, consumed FIFO by commits on the scheduler
+	// goroutine; the staging barrier orders the two).
+	pending     []stagedWindow
+	pendingHead int
+}
+
+// stagedWindow is the output of one window's stage phase: everything the
+// pure, shard-parallel half of window processing produces for the
+// sequential commit half to ship and account.
+type stagedWindow struct {
+	start  simtime.Time
+	closed []stream.Closed
+	kept   int
+	// preBytes[i] is closed[i]'s serialized size, measured during staging
+	// so the O(keys) scan parallelizes; nil when the job ships raw events.
+	preBytes []int64
 }
 
 // windowState tracks global completion of one window at the sink.
@@ -326,6 +385,22 @@ type JobRun struct {
 	complete func(*windowState, simtime.Time)
 	// guard is the job's resilience orchestrator (nil when disabled).
 	guard *jobGuard
+	// sinkTable is the union of every source generator's interned keys,
+	// built at Start for non-resilient jobs: the sink-side merge aggregates
+	// (per-window merged state and the global answer) index dense cells
+	// over it instead of hashing strings. Nil falls back to map cells.
+	sinkTable *stream.KeyTable
+}
+
+// newSinkAgg returns an empty sink-side aggregate: dense over the union key
+// table when one exists, map-backed otherwise. Dense and map aggregates
+// produce identical results for identical inputs; only the cell storage
+// differs.
+func (r *JobRun) newSinkAgg() *stream.KeyedAgg {
+	if r.sinkTable != nil {
+		return stream.NewKeyedAggDense(r.job.Agg, r.sinkTable)
+	}
+	return stream.NewKeyedAgg(r.job.Agg)
 }
 
 // Done reports whether all windows have been processed and every partial
@@ -406,11 +481,9 @@ func (e *Engine) Start(job JobSpec, dur time.Duration) (*JobRun, error) {
 	e.met.jobs.With().Inc()
 	run := &JobRun{
 		job:     job,
-		rep:     &Report{Global: stream.NewKeyedAgg(job.Agg)},
 		windows: make(map[simtime.Time]*windowState),
 		sink:    job.Sink,
 	}
-	rep := run.rep
 
 	srcs := make([]*sourceState, len(job.Sources))
 	genRoot := rng.New(77)
@@ -428,11 +501,39 @@ func (e *Engine) Start(job JobSpec, dur time.Duration) (*JobRun, error) {
 			agg: stream.NewWindowAggDense(job.Window, job.Agg, gen.Table()),
 		}
 	}
+	// Sink-side union key table: every key any source can emit, interned in
+	// source order. Non-resilient jobs merge partials into dense cells over
+	// it, so the sink-side merge indexes cells instead of hashing strings;
+	// resilient jobs keep map cells (checkpoint restore rebuilds merged
+	// state from snapshots along the map path). Dense and map merges
+	// produce identical values, so reports are unchanged either way.
+	if job.Resilience == nil {
+		tbl := stream.NewKeyTable()
+		for _, s := range srcs {
+			st := s.gen.Table()
+			for id := 1; id <= st.Len(); id++ {
+				tbl.Intern(st.Key(id))
+			}
+		}
+		if tbl.Len() > 0 {
+			run.sinkTable = tbl
+		}
+	}
+	run.rep = &Report{Global: run.newSinkAgg()}
+	rep := run.rep
+
 	nWindows := int(dur / job.Window)
 	run.expected = nWindows * len(srcs)
 
 	run.complete = func(ws *windowState, at simtime.Time) {
 		rep.Global.Merge(ws.merged)
+		if run.guard == nil {
+			// Fully merged into the global answer, and without resilience
+			// replays no partial for this window can arrive again: free the
+			// per-window merge state (significant at 10^6-key scale, where
+			// each merged aggregate holds a cell per key).
+			ws.merged = nil
+		}
 		if run.guard != nil && !run.guard.noteComplete(ws.window.Start) {
 			// Re-collection of a window already counted before a failover:
 			// its contribution re-merged above, but the report counted it
@@ -454,76 +555,149 @@ func (e *Engine) Start(job JobSpec, dur time.Duration) (*JobRun, error) {
 
 	// Per-window per-source processing, scheduled at every window close.
 	// Resilient jobs defer the close while the source's site is declared
-	// dead; the guard replays the queue, in order, on recovery.
+	// dead; the guard replays the queue, in order, on recovery. The
+	// sequential path fuses the stage and commit halves inline, so its
+	// execution is the refactored twin of the historical single closure.
 	process := func(s *sourceState, end simtime.Time) {
 		if run.guard != nil && run.guard.deferIfDown(s, end) {
 			return
 		}
-		run.processed++
-		start := end - simtime.Time(job.Window)
-		n := workload.EventCount(s.spec.Rate, start, job.Window)
-		s.buf = s.gen.AppendEvents(s.buf[:0], n, start, job.Window)
-		kept := 0
-		for _, ev := range s.buf {
-			if job.Map != nil {
-				var ok bool
-				ev, ok = job.Map(ev)
-				if !ok {
-					continue
-				}
-			}
-			s.agg.Add(ev)
-			kept++
-		}
-		closed := s.agg.Advance(end)
-		coveredCurrent := false
-		for _, cw := range closed {
-			if cw.Window.Start == start {
-				coveredCurrent = true
-			}
-			e.ship(run, s, cw, kept)
-		}
-		if !coveredCurrent {
-			// Every window ships a partial even when all events were
-			// filtered out: the sink must be able to distinguish "no data"
-			// from "site missing".
-			empty := stream.Closed{
-				Window: stream.Window{Start: start, End: end},
-				Agg:    stream.NewKeyedAgg(job.Agg),
-			}
-			e.ship(run, s, empty, kept)
-		}
-		rep.TotalEvents += int64(kept)
-		if e.Obs != nil {
-			e.met.events.With(string(s.spec.Site)).Add(int64(kept))
-			e.Obs.Spans().WindowClose(end, string(s.spec.Site), kept, uint64(start))
-		}
+		e.commitWindow(run, s, end, e.stageWindow(run, s, end))
 	}
 
 	if job.Resilience != nil {
 		run.guard = newJobGuard(e, run, *job.Resilience, srcs, process)
 	}
 
+	// Shard-parallel dispatch needs pure, shard-local stages: resilience
+	// replays re-enter processing out of band, and a generator shared by
+	// two sources couples their stages, so both force the sequential path.
+	useShards := e.shard != nil && run.guard == nil && !sharesGenerators(srcs)
 	for _, s := range srcs {
 		s := s
-		for w := 1; w <= nWindows; w++ {
-			end := simtime.Time(w) * simtime.Time(job.Window)
-			e.Sched.At(e.Sched.Now()+end, func() { process(s, e.Sched.Now()) })
+		if useShards {
+			shard := e.shardBySite[s.spec.Site]
+			for w := 1; w <= nWindows; w++ {
+				end := e.Sched.Now() + simtime.Time(w)*simtime.Time(job.Window)
+				e.shard.At(shard, end, func() {
+					s.pending = append(s.pending, e.stageWindow(run, s, end))
+				}, func() {
+					st := s.pending[s.pendingHead]
+					s.pendingHead++
+					if s.pendingHead == len(s.pending) {
+						s.pending, s.pendingHead = s.pending[:0], 0
+					}
+					e.commitWindow(run, s, end, st)
+				})
+			}
+		} else {
+			for w := 1; w <= nWindows; w++ {
+				end := simtime.Time(w) * simtime.Time(job.Window)
+				e.Sched.At(e.Sched.Now()+end, func() { process(s, e.Sched.Now()) })
+			}
 		}
 	}
 	return run, nil
 }
 
+// sharesGenerators reports whether two sources use the same generator
+// instance (its RNG stream would couple their stages).
+func sharesGenerators(srcs []*sourceState) bool {
+	seen := make(map[*workload.SensorGen]bool, len(srcs))
+	for _, s := range srcs {
+		if seen[s.gen] {
+			return true
+		}
+		seen[s.gen] = true
+	}
+	return false
+}
+
+// stageWindow is the pure half of one source's window close: draw the
+// window's events, map and fold them into the source-local aggregate, and
+// advance the watermark. It touches only state owned by the source (its
+// generator RNG, batch buffer and window aggregate), never the clock, the
+// network or the report — which is what makes it safe to run concurrently
+// with other shards' stages under the conservative barrier.
+func (e *Engine) stageWindow(run *JobRun, s *sourceState, end simtime.Time) stagedWindow {
+	job := run.job
+	start := end - simtime.Time(job.Window)
+	n := workload.EventCount(s.spec.Rate, start, job.Window)
+	s.buf = s.gen.AppendEvents(s.buf[:0], n, start, job.Window)
+	kept := 0
+	for _, ev := range s.buf {
+		if job.Map != nil {
+			var ok bool
+			ev, ok = job.Map(ev)
+			if !ok {
+				continue
+			}
+		}
+		s.agg.Add(ev)
+		kept++
+	}
+	st := stagedWindow{start: start, closed: s.agg.Advance(end), kept: kept}
+	if !job.ShipRaw && len(st.closed) > 0 {
+		// Pre-size the partials here so the O(keys) serialization scan runs
+		// in parallel instead of on the commit path.
+		st.preBytes = make([]int64, len(st.closed))
+		for i := range st.closed {
+			st.preBytes[i] = st.closed[i].Agg.SerializedBytes()
+		}
+	}
+	return st
+}
+
+// commitWindow is the sequential half: ship every closed partial, account
+// the report and emit observability. It runs on the scheduler goroutine in
+// exact (time, sequence) order for any shard count.
+func (e *Engine) commitWindow(run *JobRun, s *sourceState, end simtime.Time, st stagedWindow) {
+	job := run.job
+	run.processed++
+	coveredCurrent := false
+	for i, cw := range st.closed {
+		if cw.Window.Start == st.start {
+			coveredCurrent = true
+		}
+		pre := int64(-1)
+		if st.preBytes != nil {
+			pre = st.preBytes[i]
+		}
+		e.shipPre(run, s, cw, st.kept, pre)
+	}
+	if !coveredCurrent {
+		// Every window ships a partial even when all events were
+		// filtered out: the sink must be able to distinguish "no data"
+		// from "site missing".
+		empty := stream.Closed{
+			Window: stream.Window{Start: st.start, End: end},
+			Agg:    stream.NewKeyedAgg(job.Agg),
+		}
+		e.shipPre(run, s, empty, st.kept, -1)
+	}
+	run.rep.TotalEvents += int64(st.kept)
+	if e.Obs != nil {
+		e.met.events.With(string(s.spec.Site)).Add(int64(st.kept))
+		e.Obs.Spans().WindowClose(end, string(s.spec.Site), st.kept, uint64(st.start))
+	}
+}
+
 // ship moves one closed window partial from a source site to the sink.
 func (e *Engine) ship(run *JobRun, s *sourceState, cw stream.Closed, events int) {
-	e.shipResume(run, s, cw, events, nil)
+	e.shipResume(run, s, cw, events, -1, nil)
+}
+
+// shipPre is ship with the partial's serialized size measured during the
+// stage phase (-1: measure here).
+func (e *Engine) shipPre(run *JobRun, s *sourceState, cw stream.Closed, events int, preBytes int64) {
+	e.shipResume(run, s, cw, events, preBytes, nil)
 }
 
 // shipResume is ship with an optional transfer ledger: recovery replays pass
 // the checkpointed ledger of the interrupted transfer so delivery resumes
 // from the last acknowledged chunk.
 func (e *Engine) shipResume(run *JobRun, s *sourceState, cw stream.Closed, events int,
-	resume *transfer.Ledger) {
+	preBytes int64, resume *transfer.Ledger) {
 
 	job := run.job
 	rep := run.rep
@@ -532,13 +706,16 @@ func (e *Engine) shipResume(run *JobRun, s *sourceState, cw stream.Closed, event
 
 	ws := run.windows[cw.Window.Start]
 	if ws == nil {
-		ws = &windowState{window: cw.Window, merged: stream.NewKeyedAgg(job.Agg)}
+		ws = &windowState{window: cw.Window, merged: run.newSinkAgg()}
 		run.windows[cw.Window.Start] = ws
 	}
 	var bytes int64
-	if job.ShipRaw {
+	switch {
+	case job.ShipRaw:
 		bytes = int64(events) * s.spec.EventBytes
-	} else {
+	case preBytes >= 0:
+		bytes = preBytes
+	default:
 		bytes = cw.Agg.SerializedBytes()
 	}
 	bytes += job.PartialOverheadBytes
@@ -560,7 +737,12 @@ func (e *Engine) shipResume(run *JobRun, s *sourceState, cw stream.Closed, event
 			return
 		}
 		ws.arrived++
-		ws.merged.Merge(cw.Agg)
+		if ws.merged != nil {
+			// Merged state is freed once the window completes; a partial
+			// landing after that (impossible without resilience replays,
+			// which keep the state alive) would be late data.
+			ws.merged.Merge(cw.Agg)
+		}
 		if e.Obs != nil {
 			e.Obs.Spans().Merge(e.Sched.Now(), string(sink), bytes, uint64(cw.Window.Start))
 		}

@@ -49,6 +49,13 @@ func WithTrace(r *trace.Recorder) Option { return func(o *Options) { o.Trace = r
 // (the default) disables the layer with zero behavioral or allocation cost.
 func WithObservability(ob *obs.Observer) Option { return func(o *Options) { o.Obs = ob } }
 
+// WithShards sets the event-core shard count: n > 1 stages the pure half of
+// window processing concurrently across per-site shards under a conservative
+// lookahead barrier (minimum WAN RTT), with commits replayed in exact
+// sequential order — output stays byte-identical to a 1-shard engine. 0 or 1
+// keeps the classic single-threaded core.
+func WithShards(n int) Option { return func(o *Options) { o.Shards = n } }
+
 // WithCheckpointInterval arms the resilience subsystem for every job started
 // on the engine that does not carry its own Resilience config, checkpointing
 // at the given interval. Zero (the default) leaves jobs non-resilient unless

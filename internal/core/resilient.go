@@ -492,7 +492,7 @@ func (g *jobGuard) recoverSource(i int, s *sourceState, ck *resilience.Checkpoin
 			g.met.ReplayedWindows++
 			g.met.ReplayedEvents += int64(lw.Events)
 			ledger := led
-			g.e.shipResume(g.run, s, rebuildClosed(g.run.job, lw), lw.Events, &ledger)
+			g.e.shipResume(g.run, s, rebuildClosed(g.run.job, lw), lw.Events, -1, &ledger)
 		} else {
 			if wasted := g.aborted[i][start]; wasted > 0 {
 				g.met.DuplicateBytes += wasted

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/rng"
+	"sage/internal/trace"
+	"sage/internal/transfer"
+	"sage/internal/workload"
+)
+
+// shardedFixture runs one streaming job on a generated 24-site world with
+// the given shard count and returns (trace JSONL, report fingerprint). The
+// job exercises the full pipeline: per-source generation, windowed dense
+// aggregation, budget-sized transfers and sink merging.
+func shardedFixture(t *testing.T, shards int) ([]byte, string) {
+	t.Helper()
+	world := cloud.GenerateWorld(24, 4, 5)
+	rec := trace.New(1 << 16)
+	e := NewEngine(
+		WithTopology(world),
+		WithSeed(11),
+		WithShards(shards),
+		WithTrace(rec),
+	)
+	e.DeployEverywhere(cloud.Medium, 2)
+	job := JobSpec{
+		Sink:     cloud.GeneratedHub(0),
+		Window:   20 * time.Second,
+		Strategy: transfer.ParallelStatic,
+		Lanes:    2,
+	}
+	for i := 4; i < 24; i++ {
+		job.Sources = append(job.Sources, SourceSpec{
+			Site: cloud.GeneratedSiteID(i),
+			Rate: workload.ConstantRate(150),
+		})
+	}
+	rep, err := e.Run(job, 2*time.Minute)
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatalf("shards=%d trace: %v", shards, err)
+	}
+	fp := fmt.Sprintf("windows=%d incomplete=%d events=%d bytes=%d cost=%.6f lat=%+v keys=%d top=%v sw=%d",
+		rep.Windows, rep.Incomplete, rep.TotalEvents, rep.TotalBytes, rep.TotalCost,
+		rep.LatencySummary, rep.Global.Keys(), rep.Global.TopK(10), len(rep.SiteWindows))
+	for _, sw := range rep.SiteWindows {
+		fp += fmt.Sprintf("\n%s %v %d %d %d %d %v %.6f",
+			sw.Site, sw.Window, sw.Events, sw.Keys, sw.Bytes, sw.Lanes, sw.Transfer, sw.Cost)
+	}
+	return buf.Bytes(), fp
+}
+
+// TestShardedEngineByteIdentical is the end-to-end determinism property: for
+// shards in {2, 4, 8} the full trace JSONL and the report are byte-identical
+// to the sequential engine on a generated multi-region world.
+func TestShardedEngineByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-shard sweep is not short")
+	}
+	seqTrace, seqRep := shardedFixture(t, 1)
+	if len(seqTrace) == 0 {
+		t.Fatal("sequential run recorded no trace")
+	}
+	for _, shards := range []int{2, 4, 8} {
+		gotTrace, gotRep := shardedFixture(t, shards)
+		if !bytes.Equal(gotTrace, seqTrace) {
+			t.Errorf("shards=%d: trace JSONL diverges from sequential (%d vs %d bytes)",
+				shards, len(gotTrace), len(seqTrace))
+		}
+		if gotRep != seqRep {
+			t.Errorf("shards=%d: report diverges from sequential\ngot:  %.300s\nwant: %.300s",
+				shards, gotRep, seqRep)
+		}
+	}
+}
+
+// TestShardedEngineActuallyShards asserts the parallel path is really taken:
+// a multi-shard engine reports its shard count and stages work in rounds.
+func TestShardedEngineActuallyShards(t *testing.T) {
+	world := cloud.GenerateWorld(12, 3, 2)
+	e := NewEngine(WithTopology(world), WithShards(4))
+	if e.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", e.Shards())
+	}
+	e.DeployEverywhere(cloud.Small, 1)
+	job := JobSpec{
+		Sink:     cloud.GeneratedHub(0),
+		Window:   10 * time.Second,
+		Strategy: transfer.Direct,
+	}
+	for i := 3; i < 12; i++ {
+		job.Sources = append(job.Sources, SourceSpec{
+			Site: cloud.GeneratedSiteID(i),
+			Rate: workload.ConstantRate(50),
+		})
+	}
+	rep, err := e.Run(job, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Windows != 6 {
+		t.Fatalf("completed %d windows, want 6", rep.Windows)
+	}
+	if rep.TotalEvents == 0 {
+		t.Fatal("no events processed")
+	}
+}
+
+// TestShardedSharedGenFallsBack: sources sharing one generator instance
+// couple their RNG streams, so the engine must not stage them in parallel.
+// The run still completes, and matches a sequential engine byte-for-byte.
+func TestShardedSharedGenFallsBack(t *testing.T) {
+	run := func(shards int) string {
+		world := cloud.GenerateWorld(8, 2, 3)
+		e := NewEngine(WithTopology(world), WithShards(shards), WithSeed(9))
+		e.DeployEverywhere(cloud.Small, 1)
+		gen := workload.NewSensorGen(rng.New(123), cloud.GeneratedSiteID(2), workload.SensorOpts{Keys: 50})
+		job := JobSpec{
+			Sink:     cloud.GeneratedHub(0),
+			Window:   15 * time.Second,
+			Strategy: transfer.Direct,
+			Sources: []SourceSpec{
+				{Site: cloud.GeneratedSiteID(2), Rate: workload.ConstantRate(40), Gen: gen},
+				{Site: cloud.GeneratedSiteID(3), Rate: workload.ConstantRate(40), Gen: gen},
+			},
+		}
+		rep, err := e.Run(job, time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%d %d %d %v", rep.Windows, rep.TotalEvents, rep.TotalBytes, rep.Global.TopK(5))
+	}
+	if seq, par := run(1), run(4); seq != par {
+		t.Fatalf("shared-generator job diverges under sharding:\nseq: %s\npar: %s", seq, par)
+	}
+}

@@ -1,0 +1,256 @@
+package simtime
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sharded layers conservative parallel execution over a sequential Scheduler
+// without giving up its determinism guarantee. Work is split into two-phase
+// events: a *stage* phase that touches only shard-local state, and a *commit*
+// phase that may touch anything. Commits always run on the scheduler
+// goroutine in exact (time, sequence) order — the same order a sequential
+// scheduler would use — while stages of different shards run concurrently,
+// batched up to a conservative lookahead horizon.
+//
+// The correctness argument is the classic conservative-PDES one: the
+// lookahead is the minimum latency of any cross-shard interaction (for SAGE,
+// the minimum WAN link RTT), so no event at time t can affect another shard's
+// state before t+lookahead. Any stage scheduled within [t, t+lookahead) can
+// therefore run as soon as the clock reaches t, concurrently with other
+// shards' stages in the same horizon, and observe exactly the state it would
+// have observed sequentially. Because stages are pure with respect to
+// cross-shard and global state, and commits replay in unchanged sequential
+// order, every observable output (trace, report, RNG draws) is byte-identical
+// for any shard count — including 1.
+//
+// Contract for callers:
+//   - stage functions read and write only state owned by their shard (state
+//     mutated exclusively by same-shard stages or between rounds on the
+//     scheduler goroutine);
+//   - commit functions run on the scheduler goroutine and may touch shared
+//     state freely;
+//   - At must be called from the scheduler goroutine (never from inside a
+//     stage function).
+//
+// A Sharded with one shard degenerates to plain Scheduler.At calls with
+// stage and commit fused, so the sequential path pays nothing.
+type Sharded struct {
+	s         *Scheduler
+	lookahead Time
+	queues    []shardQueue // one pending-stage min-heap per shard
+	seq       uint64       // global staging order for ties inside one shard
+	rounds    uint64
+	staged    uint64
+}
+
+// shardTask is one pending two-phase event's stage half.
+type shardTask struct {
+	at     Time
+	seq    uint64
+	stage  func()
+	staged bool
+}
+
+// NewSharded wraps a Scheduler with a sharded executor. shards < 1 is
+// treated as 1 (fully sequential); lookahead < 0 as 0 (stages batch only
+// with exactly-simultaneous events).
+func NewSharded(s *Scheduler, shards int, lookahead Time) *Sharded {
+	if shards < 1 {
+		shards = 1
+	}
+	if lookahead < 0 {
+		lookahead = 0
+	}
+	return &Sharded{s: s, lookahead: lookahead, queues: make([]shardQueue, shards)}
+}
+
+// Shards returns the shard count.
+func (sh *Sharded) Shards() int { return len(sh.queues) }
+
+// Lookahead returns the conservative horizon.
+func (sh *Sharded) Lookahead() Time { return sh.lookahead }
+
+// Rounds returns the number of parallel staging rounds executed — an
+// instrumentation hook for tests and the scaling experiment.
+func (sh *Sharded) Rounds() uint64 { return sh.rounds }
+
+// Staged returns the number of stage functions executed through rounds.
+func (sh *Sharded) Staged() uint64 { return sh.staged }
+
+// At schedules a two-phase event on the given shard at absolute virtual
+// time t. The commit fires on the underlying scheduler in normal (time,
+// sequence) order; the stage runs at the latest immediately before its
+// commit, at the earliest batched with other shards' stages once the clock
+// reaches t's staging round.
+func (sh *Sharded) At(shard int, t Time, stage, commit func()) {
+	if shard < 0 || shard >= len(sh.queues) {
+		panic(fmt.Sprintf("simtime: shard %d out of range [0,%d)", shard, len(sh.queues)))
+	}
+	if len(sh.queues) == 1 {
+		sh.s.At(t, func() { stage(); commit() })
+		return
+	}
+	task := &shardTask{at: t, seq: sh.seq, stage: stage}
+	sh.seq++
+	sh.queues[shard].push(task)
+	sh.s.At(t, func() {
+		if !task.staged {
+			sh.stageThrough(sh.saturatingHorizon())
+		}
+		commit()
+	})
+}
+
+// saturatingHorizon returns now+lookahead, clamped against overflow.
+func (sh *Sharded) saturatingHorizon() Time {
+	h := sh.s.Now() + sh.lookahead
+	if h < sh.s.Now() {
+		return Forever
+	}
+	return h
+}
+
+// stagedRun is one shard's ordered batch for a round.
+type stagedRun struct {
+	shard int
+	tasks []*shardTask
+}
+
+// stagePanic captures a panic raised inside a stage function so it can be
+// re-raised deterministically on the scheduler goroutine.
+type stagePanic struct {
+	shard int
+	seq   uint64
+	val   any
+}
+
+// stageThrough pops every pending stage with at <= horizon and runs them:
+// tasks of one shard sequentially in (time, seq) order, different shards
+// concurrently. It returns after a full barrier (every popped stage has
+// finished), so commits that follow observe completed staging. Panics inside
+// stages are re-raised here, on the scheduler goroutine, picking the lowest
+// (shard, seq) offender so the failure is independent of goroutine timing.
+func (sh *Sharded) stageThrough(horizon Time) {
+	var runs []stagedRun
+	for i := range sh.queues {
+		q := &sh.queues[i]
+		var tasks []*shardTask
+		for q.Len() > 0 && (*q)[0].at <= horizon {
+			tasks = append(tasks, q.pop())
+		}
+		if len(tasks) > 0 {
+			runs = append(runs, stagedRun{shard: i, tasks: tasks})
+		}
+	}
+	if len(runs) == 0 {
+		return
+	}
+	sh.rounds++
+	for _, r := range runs {
+		sh.staged += uint64(len(r.tasks))
+	}
+	if len(runs) == 1 {
+		// Only one shard has work in this horizon: run inline, panics
+		// propagate naturally.
+		for _, t := range runs[0].tasks {
+			t.stage()
+			t.staged = true
+		}
+		return
+	}
+	panics := make([]*stagePanic, len(runs))
+	var wg sync.WaitGroup
+	for ri := range runs {
+		wg.Add(1)
+		go func(ri int) {
+			defer wg.Done()
+			r := runs[ri]
+			for _, t := range r.tasks {
+				if !runStage(t, r.shard, &panics[ri]) {
+					return // abandon the rest of a panicked shard's run
+				}
+			}
+		}(ri)
+	}
+	wg.Wait()
+	var first *stagePanic
+	for _, p := range panics {
+		if p != nil && (first == nil || p.seq < first.seq) {
+			first = p
+		}
+	}
+	if first != nil {
+		panic(fmt.Sprintf("simtime: stage on shard %d (staging seq %d) panicked: %v",
+			first.shard, first.seq, first.val))
+	}
+	for _, r := range runs {
+		for _, t := range r.tasks {
+			t.staged = true
+		}
+	}
+}
+
+// runStage executes one stage, converting a panic into a stagePanic record.
+// It reports whether the stage completed normally.
+func runStage(t *shardTask, shard int, out **stagePanic) (ok bool) {
+	defer func() {
+		if v := recover(); v != nil {
+			*out = &stagePanic{shard: shard, seq: t.seq, val: v}
+		}
+	}()
+	t.stage()
+	return true
+}
+
+// shardQueue is a min-heap of pending stages ordered by (at, seq). A plain
+// slice heap (no container/heap interface) keeps push/pop inline-friendly.
+type shardQueue []*shardTask
+
+func (q shardQueue) Len() int { return len(q) }
+
+func (q shardQueue) less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q *shardQueue) push(t *shardTask) {
+	*q = append(*q, t)
+	i := len(*q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		(*q)[i], (*q)[parent] = (*q)[parent], (*q)[i]
+		i = parent
+	}
+}
+
+func (q *shardQueue) pop() *shardTask {
+	old := *q
+	n := len(old)
+	top := old[0]
+	old[0] = old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(*q) && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(*q) && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*q)[i], (*q)[smallest] = (*q)[smallest], (*q)[i]
+		i = smallest
+	}
+	return top
+}

@@ -47,6 +47,11 @@ type SensorOpts struct {
 	// DriftPerHour adds a slow linear trend to values, exercising
 	// window-to-window change (default 0).
 	DriftPerHour float64
+	// KeyPrefix prefixes every generated key (default ""). Distinct
+	// prefixes give sites disjoint key populations, so the global
+	// distinct-key count scales with the number of sites — the million-key
+	// regime of the scale experiments.
+	KeyPrefix string
 }
 
 // NewSensorGen builds a generator for one site from its own random stream.
@@ -65,7 +70,7 @@ func NewSensorGen(r *rng.Rand, site cloud.SiteID, opt SensorOpts) *SensorGen {
 		table:   stream.NewKeyTable(),
 	}
 	for k := range g.keyStrs {
-		g.keyStrs[k] = fmt.Sprintf("sensor-%04d", k)
+		g.keyStrs[k] = fmt.Sprintf("%ssensor-%04d", opt.KeyPrefix, k)
 		g.keyIDs[k] = g.table.Intern(g.keyStrs[k])
 	}
 	if opt.Skew > 1 {

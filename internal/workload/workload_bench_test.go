@@ -6,3 +6,4 @@ func BenchmarkSensorGen100(b *testing.B)       { RunBenchmarkSensorGen(b, 100) }
 func BenchmarkSensorGen1000(b *testing.B)      { RunBenchmarkSensorGen(b, 1000) }
 func BenchmarkStreamPipeline100(b *testing.B)  { RunBenchmarkStreamPipeline(b, 100) }
 func BenchmarkStreamPipeline1000(b *testing.B) { RunBenchmarkStreamPipeline(b, 1000) }
+func BenchmarkMillionKeyPipeline(b *testing.B) { RunBenchmarkMillionKeyPipeline(b) }
