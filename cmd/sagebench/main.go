@@ -13,7 +13,7 @@
 //	sagebench -exp 3
 //	sagebench -quick -seed 7
 //	sagebench -exp 9 -csv > f9.csv
-//	sagebench -perf                       # rewrites BENCH_netsim.json + BENCH_stream.json + BENCH_obs.json + BENCH_scale.json
+//	sagebench -perf                       # rewrites BENCH_netsim.json + BENCH_stream.json + BENCH_obs.json + BENCH_scale.json + BENCH_route.json
 //	sagebench -exp 20 -shards 4           # scale experiment on a 4-shard core
 //	sagebench -quick -cpuprofile cpu.out  # profile the whole quick suite
 package main
@@ -41,6 +41,7 @@ func main() {
 		perfStreamOut = flag.String("perf-stream-out", "BENCH_stream.json", "output path for the stream -perf baseline")
 		perfObsOut    = flag.String("perf-obs-out", "BENCH_obs.json", "output path for the observability -perf baseline")
 		perfScaleOut  = flag.String("perf-scale-out", "BENCH_scale.json", "output path for the shard-scaling -perf baseline")
+		perfRouteOut  = flag.String("perf-route-out", "BENCH_route.json", "output path for the route-planner -perf baseline")
 		shards        = flag.Int("shards", 0, "event-core shards for every experiment (0 = 1 or $SAGE_SHARDS; results are byte-identical for any count)")
 		worldSites    = flag.Int("world-sites", 0, "override the generated-world site count of the scale experiment")
 		worldRegions  = flag.Int("world-regions", 0, "override the generated-world region count of the scale experiment")
@@ -148,6 +149,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "speedup at 4 shards: %.2fx on %d cores (GOMAXPROCS=%d)\n",
 			sc.SpeedupAt4Shards, sc.Cores, sc.GOMAXPROCS)
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *perfScaleOut)
+
+		fmt.Fprintln(os.Stderr, "measuring route-planner baseline (50/200/500-site worlds)...")
+		rt := bench.RunRoutePerfBaseline()
+		if err := os.WriteFile(*perfRouteOut, rt.JSON(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sagebench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, key := range []string{
+			"WidestPath/sites=500", "FromScratchReplan/sites=500",
+			"ReplanChurn/sites=500/dirty=10", "ReplanRepair/sites=500",
+		} {
+			r := rt.Benchmarks[key]
+			fmt.Fprintf(os.Stderr, "%-32s %12.0f ns/op %6d allocs/op\n", key, r.NsPerOp, r.AllocsPerOp)
+		}
+		fmt.Fprintf(os.Stderr, "replan speedup at 10 dirty edges: %.0fx over from-scratch\n", rt.ReplanSpeedup10At500)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *perfRouteOut)
 		return
 	}
 

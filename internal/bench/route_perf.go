@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"sage/internal/route"
+)
+
+// RouteBaseline is the machine-readable route-planner performance snapshot
+// written to BENCH_route.json by `sagebench -perf`. It records the widest-
+// path sweep across world sizes, the from-scratch replan cost the
+// incremental planner replaced, and the incremental replan cost at several
+// dirty-edge counts — the numbers behind the planner's two budgets: zero
+// allocations per steady-state replan, and ≥10x over from-scratch at 10
+// dirty edges on the 500-site world.
+type RouteBaseline struct {
+	GoVersion  string                `json:"go_version"`
+	GOARCH     string                `json:"goarch"`
+	Benchmarks map[string]PerfResult `json:"benchmarks"`
+	// ReplanSpeedup10At500 is FromScratchReplan(500 sites) ns/op divided by
+	// ReplanChurn(500 sites, 10 dirty edges) ns/op.
+	ReplanSpeedup10At500 float64 `json:"replan_speedup_10_dirty_at_500"`
+}
+
+// routePerfSites is the world-size sweep of the widest-path benchmarks.
+var routePerfSites = []int{50, 200, 500}
+
+// routePerfDirtyCounts is the dirty-edge sweep of the incremental replan
+// benchmark, all on the 500-site world.
+var routePerfDirtyCounts = []int{1, 10, 100}
+
+// RunRoutePerfBaseline measures the route benchmarks and returns the
+// snapshot written to BENCH_route.json.
+func RunRoutePerfBaseline() RouteBaseline {
+	p := RouteBaseline{
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: make(map[string]PerfResult),
+	}
+	rec := func(name string, r testing.BenchmarkResult) PerfResult {
+		pr := PerfResult{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		p.Benchmarks[name] = pr
+		return pr
+	}
+	for _, n := range routePerfSites {
+		n := n
+		rec(fmt.Sprintf("WidestPath/sites=%d", n),
+			testing.Benchmark(func(b *testing.B) { route.RunBenchmarkWidestPath(b, n) }))
+	}
+	var scratch500 PerfResult
+	for _, n := range routePerfSites {
+		n := n
+		r := rec(fmt.Sprintf("FromScratchReplan/sites=%d", n),
+			testing.Benchmark(func(b *testing.B) { route.RunBenchmarkFromScratchReplan(b, n) }))
+		if n == 500 {
+			scratch500 = r
+		}
+	}
+	var churn10 PerfResult
+	for _, d := range routePerfDirtyCounts {
+		d := d
+		r := rec(fmt.Sprintf("ReplanChurn/sites=500/dirty=%d", d),
+			testing.Benchmark(func(b *testing.B) { route.RunBenchmarkReplanChurn(b, 500, d) }))
+		if d == 10 {
+			churn10 = r
+		}
+	}
+	rec("ReplanRepair/sites=500",
+		testing.Benchmark(func(b *testing.B) { route.RunBenchmarkReplanRepair(b, 500) }))
+	if churn10.NsPerOp > 0 {
+		p.ReplanSpeedup10At500 = scratch500.NsPerOp / churn10.NsPerOp
+	}
+	return p
+}
+
+// JSON renders the baseline as indented JSON with a trailing newline.
+func (p RouteBaseline) JSON() []byte {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		panic(err) // static struct: cannot fail
+	}
+	return append(b, '\n')
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRoutePerfBaselineFileValid guards the committed BENCH_route.json: it
+// must parse, cover the full sweep, and hold the two machine-independent
+// budgets of the incremental planner — a steady-state replan allocates
+// nothing at any dirty count (and the repair path allocates nothing either),
+// and a replan with 10 dirty edges on the 500-site world is at least 10x
+// faster than rebuilding the estimate graph from scratch.
+func TestRoutePerfBaselineFileValid(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_route.json"))
+	if err != nil {
+		t.Fatalf("missing route baseline (regenerate with `go run ./cmd/sagebench -perf`): %v", err)
+	}
+	var p RouteBaseline
+	if err := json.Unmarshal(raw, &p); err != nil {
+		t.Fatalf("BENCH_route.json does not parse: %v", err)
+	}
+	if p.GoVersion == "" || p.GOARCH == "" {
+		t.Fatalf("baseline missing toolchain stamp: %+v", p)
+	}
+	for _, n := range routePerfSites {
+		for _, fam := range []string{"WidestPath", "FromScratchReplan"} {
+			key := fmt.Sprintf("%s/sites=%d", fam, n)
+			r, ok := p.Benchmarks[key]
+			if !ok || r.NsPerOp <= 0 {
+				t.Fatalf("baseline missing or degenerate %s: %+v", key, r)
+			}
+		}
+	}
+	for _, d := range routePerfDirtyCounts {
+		key := fmt.Sprintf("ReplanChurn/sites=500/dirty=%d", d)
+		r, ok := p.Benchmarks[key]
+		if !ok || r.NsPerOp <= 0 {
+			t.Fatalf("baseline missing or degenerate %s: %+v", key, r)
+		}
+		if r.AllocsPerOp != 0 {
+			t.Fatalf("%s allocates %d per op in the committed baseline; the steady-state replan budget is 0", key, r.AllocsPerOp)
+		}
+	}
+	rr, ok := p.Benchmarks["ReplanRepair/sites=500"]
+	if !ok || rr.NsPerOp <= 0 {
+		t.Fatalf("baseline missing or degenerate ReplanRepair/sites=500: %+v", rr)
+	}
+	if rr.AllocsPerOp != 0 {
+		t.Fatalf("ReplanRepair/sites=500 allocates %d per op; the repair-path budget is 0", rr.AllocsPerOp)
+	}
+	if p.ReplanSpeedup10At500 < 10 {
+		t.Fatalf("incremental replan at 10 dirty edges is %.1fx over from-scratch on the committed baseline; the budget is >= 10x",
+			p.ReplanSpeedup10At500)
+	}
+}

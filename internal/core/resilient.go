@@ -57,22 +57,12 @@ func (e *Engine) poolAlive(site cloud.SiteID) bool {
 	return false
 }
 
-// routeGraph builds the failover planner's view of the WAN from current
-// monitor estimates, mirroring the transfer manager's planning graph.
+// routeGraph returns the failover planner's view of the WAN: the transfer
+// manager's persistent incremental graph, brought up to date with any dirty
+// monitor estimates. The manager's estimate function applies the same
+// monitor-mean / topology-baseline fallback this file used to duplicate.
 func (e *Engine) routeGraph() *route.Graph {
-	topo := e.Net.Topology()
-	return route.GraphFromEstimates(topo.SiteIDs(), func(from, to cloud.SiteID) float64 {
-		if from == to {
-			return topo.IntraMBps
-		}
-		if mean, _ := e.Monitor.Estimate(from, to); mean > 0 {
-			return mean
-		}
-		if l := topo.Link(from, to); l != nil {
-			return l.BaseMBps
-		}
-		return 0
-	})
+	return e.Mgr.RouteGraph()
 }
 
 // jobGuard orchestrates one resilient job: it keeps the batch log and

@@ -123,6 +123,9 @@ type Service struct {
 	links map[LinkKey]*LinkState
 	order []LinkKey
 	tick  *simtime.Ticker
+	// onChange are the estimate-change subscribers, invoked after every
+	// sample folded into a link estimator (see OnEstimateChange).
+	onChange []func(from, to cloud.SiteID)
 }
 
 // NewService builds a monitoring service over every directed link in the
@@ -150,6 +153,25 @@ func NewService(net *netsim.Network, opt Options) *Service {
 		s.order = append(s.order, k)
 	}
 	return s
+}
+
+// OnEstimateChange registers a subscriber called with the link pair after
+// every sample observed on a link (probe or transfer feedback) — the
+// notification hook incremental planners use for dirty-edge tracking
+// instead of re-reading the full n² estimate matrix. Estimator means move
+// on essentially every sample, so the hook does not compare means; it
+// reports "this pair may have changed" and lets the subscriber deduplicate.
+// Subscribers run synchronously on the observing goroutine and must be
+// cheap and must not call back into the Service.
+func (s *Service) OnEstimateChange(fn func(from, to cloud.SiteID)) {
+	s.onChange = append(s.onChange, fn)
+}
+
+// notifyChange fans one estimate change out to the subscribers.
+func (s *Service) notifyChange(k LinkKey) {
+	for _, fn := range s.onChange {
+		fn(k.From, k.To)
+	}
 }
 
 // Start performs the initial learning phase and begins periodic probing.
@@ -182,6 +204,7 @@ func (s *Service) probeAll() {
 		sm := Sample{Value: v, At: s.sched.Now()}
 		st.Estimator.Observe(sm)
 		st.History.Add(sm)
+		s.notifyChange(k)
 		if st.probeCtr.Enabled() {
 			st.probeCtr.Inc()
 			st.estGauge.Set(st.Estimator.Mean())
@@ -236,6 +259,7 @@ func (s *Service) ObserveTransfer(from, to cloud.SiteID, mbps float64) {
 	sm := Sample{Value: mbps, At: s.sched.Now()}
 	st.Estimator.Observe(sm)
 	st.History.Add(sm)
+	s.notifyChange(LinkKey{from, to})
 }
 
 // Estimate returns the current (mean, stddev) throughput estimate for a

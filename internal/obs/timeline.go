@@ -26,12 +26,14 @@ const (
 	PhaseWindow
 	PhaseCheckpoint
 	PhaseFailover
+	PhaseReplan
 	phaseCount
 )
 
 var phaseNames = [phaseCount]string{
 	"window_close", "estimate", "model_size", "route", "dispatch",
 	"chunk", "merge", "transfer", "window", "checkpoint", "failover",
+	"replan",
 }
 
 // String implements fmt.Stringer.
@@ -206,4 +208,10 @@ func (t *Timeline) CheckpointMark(at time.Duration, site string, bytes int64, se
 // FailoverMark records a sink failover from site to peer.
 func (t *Timeline) FailoverMark(at time.Duration, site, peer string) {
 	t.Record(Span{Phase: PhaseFailover, Site: site, Peer: peer, Start: at})
+}
+
+// Replan marks transfer id's lane set being re-planned mid-flight; lanes is
+// the new lane count.
+func (t *Timeline) Replan(at time.Duration, site, peer string, lanes int, id uint64) {
+	t.Record(Span{Phase: PhaseReplan, Site: site, Peer: peer, Start: at, Value: float64(lanes), ID: id})
 }

@@ -82,6 +82,10 @@ func TestPhaseString(t *testing.T) {
 		PhaseWindow:      "window",
 		PhaseCheckpoint:  "checkpoint",
 		PhaseFailover:    "failover",
+		PhaseReplan:      "replan",
+	}
+	if len(want) != int(phaseCount) {
+		t.Errorf("phase map covers %d of %d phases", len(want), int(phaseCount))
 	}
 	for p, s := range want {
 		if p.String() != s {

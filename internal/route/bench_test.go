@@ -1,0 +1,17 @@
+package route
+
+import "testing"
+
+func BenchmarkWidestPath50(b *testing.B)  { RunBenchmarkWidestPath(b, 50) }
+func BenchmarkWidestPath200(b *testing.B) { RunBenchmarkWidestPath(b, 200) }
+func BenchmarkWidestPath500(b *testing.B) { RunBenchmarkWidestPath(b, 500) }
+
+func BenchmarkFromScratchReplan50(b *testing.B)  { RunBenchmarkFromScratchReplan(b, 50) }
+func BenchmarkFromScratchReplan200(b *testing.B) { RunBenchmarkFromScratchReplan(b, 200) }
+func BenchmarkFromScratchReplan500(b *testing.B) { RunBenchmarkFromScratchReplan(b, 500) }
+
+func BenchmarkReplanChurn500x1(b *testing.B)   { RunBenchmarkReplanChurn(b, 500, 1) }
+func BenchmarkReplanChurn500x10(b *testing.B)  { RunBenchmarkReplanChurn(b, 500, 10) }
+func BenchmarkReplanChurn500x100(b *testing.B) { RunBenchmarkReplanChurn(b, 500, 100) }
+
+func BenchmarkReplanRepair500(b *testing.B) { RunBenchmarkReplanRepair(b, 500) }

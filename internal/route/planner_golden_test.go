@@ -1,0 +1,78 @@
+package route
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"sage/internal/cloud"
+	"sage/internal/model"
+	"sage/internal/rng"
+)
+
+// plannerGolden200 is the pinned fingerprint of every routing decision the
+// incremental planner makes on a generated 200-site world under a fixed
+// churn script. Any change to graph construction, tie-breaking, cache
+// survival or the allocation loop shows up here as a different hash; the
+// test also cross-checks each decision against a from-scratch build, so a
+// failure distinguishes "planner diverged from the oracle" (the Fatalf
+// fires) from "routing behaviour changed wholesale" (only the hash moves —
+// re-pin deliberately if that is intended).
+const plannerGolden200 uint64 = 0x921bba7bededfd29
+
+func TestPlannerGolden200(t *testing.T) {
+	cw := newChurnWorld(200, 11)
+	p := NewPlanner(cw.sites, cw.est)
+	r := rng.New(99)
+	par := model.Params{Gain: 0.5, MaxSpeedup: 3, Intr: 1, Class: cloud.XLarge, EgressPerGB: 0.12}
+	h := fnv.New64a()
+	hash := func(format string, args ...any) { fmt.Fprintf(h, format, args...) }
+
+	pairs := [][2]cloud.SiteID{
+		{cw.sites[0], cw.sites[cw.n-1]},             // hub -> far spoke
+		{cw.sites[1], cw.sites[2]},                  // hub -> hub
+		{cw.sites[benchRegions(200)], cw.sites[50]}, // spoke -> spoke
+		{cw.sites[3], cw.sites[120]},                // hub -> mid spoke
+	}
+	for round := 0; round < 30; round++ {
+		for m := 0; m < 5; m++ {
+			l := cw.links[r.Intn(len(cw.links))]
+			e := l[0]*cw.n + l[1]
+			switch {
+			case (round*5+m)%7 == 6: // periodic link death
+				cw.w[e] = 0
+			case cw.w[e] == 0: // revival
+				cw.w[e] = cw.base[e]
+			default: // drift
+				cw.w[e] = cw.base[e] * (0.5 + r.Float64())
+			}
+			p.MarkDirty(cw.sites[l[0]], cw.sites[l[1]])
+		}
+		oracle := GraphFromEstimates(cw.sites, cw.est)
+		for _, pr := range pairs {
+			gotP, gotOK := p.WidestPath(pr[0], pr[1])
+			wantP, wantOK := oracle.WidestPath(pr[0], pr[1])
+			if gotOK != wantOK || (gotOK && !samePath(gotP, wantP)) {
+				t.Fatalf("round %d: planner diverged from from-scratch on %s -> %s: %v,%v vs %v,%v",
+					round, pr[0], pr[1], gotP, gotOK, wantP, wantOK)
+			}
+			hash("w %s %s %v %d", pr[0], pr[1], gotOK, math.Float64bits(gotP.Bottleneck))
+			for _, s := range gotP.Sites {
+				hash(" %s", s)
+			}
+			gotA, gotOK2 := p.PlanMultipath(pr[0], pr[1], 12, par, 3)
+			wantA, wantOK2 := PlanMultipath(oracle, pr[0], pr[1], 12, par, 3)
+			if gotOK2 != wantOK2 || (gotOK2 && !sameAlloc(gotA, wantA)) {
+				t.Fatalf("round %d: multipath diverged on %s -> %s", round, pr[0], pr[1])
+			}
+			hash("m %v %d %d", gotOK2, gotA.TotalNodes, math.Float64bits(gotA.PredictedMBps))
+			for _, pa := range gotA.Paths {
+				hash(" %d %d %d", pa.Lanes, pa.NodesUsed, math.Float64bits(pa.Path.Bottleneck))
+			}
+		}
+	}
+	if got := h.Sum64(); got != plannerGolden200 {
+		t.Fatalf("planner decision fingerprint %#x, want %#x — routing behaviour changed; re-pin only if intended", got, plannerGolden200)
+	}
+}

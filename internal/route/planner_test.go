@@ -1,0 +1,415 @@
+package route
+
+import (
+	"sync"
+	"testing"
+
+	"sage/internal/cloud"
+	"sage/internal/model"
+	"sage/internal/rng"
+)
+
+// churnWorld is the property-test fixture: a generated topology whose link
+// weights mutate between rounds, read by both the incremental planner and
+// the from-scratch oracle through the same estimate function.
+type churnWorld struct {
+	sites []cloud.SiteID
+	idx   map[cloud.SiteID]int
+	n     int
+	w     []float64 // current weights, flat n×n
+	base  []float64 // original topology weights (for revival/resume)
+	links [][2]int  // pairs with a base link
+}
+
+func newChurnWorld(sites int, seed uint64) *churnWorld {
+	topo := cloud.GenerateWorld(sites, benchRegions(sites), seed)
+	ids := topo.SiteIDs()
+	cw := &churnWorld{sites: ids, idx: make(map[cloud.SiteID]int, len(ids)), n: len(ids)}
+	for i, s := range ids {
+		cw.idx[s] = i
+	}
+	cw.w = make([]float64, cw.n*cw.n)
+	cw.base = make([]float64, cw.n*cw.n)
+	for _, l := range topo.Links() {
+		fi, ti := cw.idx[l.From], cw.idx[l.To]
+		cw.w[fi*cw.n+ti] = l.BaseMBps
+		cw.base[fi*cw.n+ti] = l.BaseMBps
+		cw.links = append(cw.links, [2]int{fi, ti})
+	}
+	return cw
+}
+
+func (cw *churnWorld) est(from, to cloud.SiteID) float64 {
+	return cw.w[cw.idx[from]*cw.n+cw.idx[to]]
+}
+
+// set mutates one weight and reports the pair for dirty marking.
+func (cw *churnWorld) set(fi, ti int, v float64) (cloud.SiteID, cloud.SiteID) {
+	cw.w[fi*cw.n+ti] = v
+	return cw.sites[fi], cw.sites[ti]
+}
+
+func samePath(a, b Path) bool {
+	if a.Bottleneck != b.Bottleneck || len(a.Sites) != len(b.Sites) {
+		return false
+	}
+	for i := range a.Sites {
+		if a.Sites[i] != b.Sites[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameAlloc(a, b Allocation) bool {
+	if a.TotalNodes != b.TotalNodes || a.PredictedMBps != b.PredictedMBps || len(a.Paths) != len(b.Paths) {
+		return false
+	}
+	for i := range a.Paths {
+		pa, pb := a.Paths[i], b.Paths[i]
+		if pa.Lanes != pb.Lanes || pa.NodesUsed != pb.NodesUsed ||
+			pa.PredictedMBps != pb.PredictedMBps || !samePath(pa.Path, pb.Path) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPlannerMatchesFromScratch drives the incremental planner through
+// randomized estimate churn — weight drift, link death and revival, whole
+// sites pausing and resuming, edges appearing where the topology has none —
+// and checks after every round that WidestPath and PlanMultipath answers are
+// identical to a from-scratch GraphFromEstimates build over the same
+// estimates. This is the byte-identity contract the planner's cache-survival
+// rule must uphold.
+func TestPlannerMatchesFromScratch(t *testing.T) {
+	cw := newChurnWorld(60, 7)
+	p := NewPlanner(cw.sites, cw.est)
+	r := rng.New(42)
+	par := model.Params{Gain: 0.5, MaxSpeedup: 3, Intr: 1, Class: cloud.XLarge, EgressPerGB: 0.12}
+
+	paused := map[int]bool{}
+	mark := func(from, to cloud.SiteID) { p.MarkDirty(from, to) }
+	for round := 0; round < 250; round++ {
+		// Every ~20th round the mutations bypass MarkDirty and rely on the
+		// MarkAllDirty escape hatch instead.
+		all := r.Intn(20) == 0
+		if all {
+			mark = func(cloud.SiteID, cloud.SiteID) {}
+		}
+		for m := 1 + r.Intn(6); m > 0; m-- {
+			switch k := r.Intn(100); {
+			case k < 45: // drift a random link's weight
+				l := cw.links[r.Intn(len(cw.links))]
+				mark(cw.set(l[0], l[1], cw.w[l[0]*cw.n+l[1]]*(0.5+r.Float64())))
+			case k < 60: // kill a random link
+				l := cw.links[r.Intn(len(cw.links))]
+				mark(cw.set(l[0], l[1], 0))
+			case k < 75: // revive a random link to its base capacity
+				l := cw.links[r.Intn(len(cw.links))]
+				mark(cw.set(l[0], l[1], cw.base[l[0]*cw.n+l[1]]))
+			case k < 85: // spawn an edge where the topology has none
+				fi, ti := r.Intn(cw.n), r.Intn(cw.n)
+				if fi != ti {
+					mark(cw.set(fi, ti, 1+20*r.Float64()))
+				}
+			case k < 93: // pause a site: all touching links go dead
+				s := r.Intn(cw.n)
+				paused[s] = true
+				for o := 0; o < cw.n; o++ {
+					if o != s {
+						mark(cw.set(s, o, 0))
+						mark(cw.set(o, s, 0))
+					}
+				}
+			default: // resume a paused site at base capacity
+				for s := range paused {
+					delete(paused, s)
+					for o := 0; o < cw.n; o++ {
+						if o != s {
+							mark(cw.set(s, o, cw.base[s*cw.n+o]))
+							mark(cw.set(o, s, cw.base[o*cw.n+s]))
+						}
+					}
+					break
+				}
+			}
+		}
+		if all {
+			p.MarkAllDirty()
+			mark = func(from, to cloud.SiteID) { p.MarkDirty(from, to) }
+		}
+
+		oracle := GraphFromEstimates(cw.sites, cw.est)
+		for q := 0; q < 3; q++ {
+			si, di := r.Intn(cw.n), r.Intn(cw.n)
+			if si == di {
+				continue
+			}
+			src, dst := cw.sites[si], cw.sites[di]
+			wantP, wantOK := oracle.WidestPath(src, dst)
+			gotP, gotOK := p.WidestPath(src, dst)
+			if wantOK != gotOK || (wantOK && !samePath(wantP, gotP)) {
+				t.Fatalf("round %d: WidestPath(%s,%s) = %v,%v; from-scratch %v,%v",
+					round, src, dst, gotP, gotOK, wantP, wantOK)
+			}
+			budget := 3 + r.Intn(30)
+			wantA, wantOK2 := PlanMultipath(oracle, src, dst, budget, par, 3)
+			gotA, gotOK2 := p.PlanMultipath(src, dst, budget, par, 3)
+			if wantOK2 != gotOK2 || (wantOK2 && !sameAlloc(wantA, gotA)) {
+				t.Fatalf("round %d: PlanMultipath(%s,%s,%d) = %+v,%v; from-scratch %+v,%v",
+					round, src, dst, budget, gotA, gotOK2, wantA, wantOK2)
+			}
+		}
+	}
+	s := p.Stats()
+	if s.Replans == 0 || s.CacheHits == 0 || s.Repairs == 0 || s.FullRecomputes == 0 {
+		t.Fatalf("churn did not exercise every planner path: %+v", s)
+	}
+}
+
+// TestPlannerConcurrentMarkDirty hammers MarkDirty/MarkAllDirty from several
+// goroutines while queries run — the shape of monitor callbacks racing the
+// transfer manager's replan ticks. Run under -race; correctness of results
+// is covered by TestPlannerMatchesFromScratch.
+func TestPlannerConcurrentMarkDirty(t *testing.T) {
+	cw := newChurnWorld(50, 3)
+	var mu sync.Mutex
+	p := NewPlanner(cw.sites, func(from, to cloud.SiteID) float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return cw.est(from, to)
+	})
+	src, dst := cw.sites[benchRegions(50)], cw.sites[cw.n-1]
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(100 + g))
+			for i := 0; i < 2000; i++ {
+				l := cw.links[r.Intn(len(cw.links))]
+				mu.Lock()
+				cw.w[l[0]*cw.n+l[1]] = cw.base[l[0]*cw.n+l[1]] * (0.5 + r.Float64())
+				mu.Unlock()
+				p.MarkDirty(cw.sites[l[0]], cw.sites[l[1]])
+				if i%500 == 0 {
+					p.MarkAllDirty()
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 500; i++ {
+		p.WidestPath(src, dst)
+		p.Graph()
+	}
+	wg.Wait()
+	if _, ok := p.WidestPath(src, dst); !ok {
+		t.Fatal("route lost under concurrent churn")
+	}
+}
+
+// TestReplanZeroAllocs pins the tentpole budget: at steady state a replan —
+// dirty-edge commit plus query — allocates nothing, on the cache-hit path,
+// the repair path, and the multipath variant.
+func TestReplanZeroAllocs(t *testing.T) {
+	cw := newChurnWorld(200, 1)
+	p := NewPlanner(cw.sites, cw.est)
+	// Hub -> far spoke: two hops, so the pair is inside multipath's
+	// MaxLaneSites admission rule.
+	src, dst := cw.sites[0], cw.sites[cw.n-1]
+	par := model.Params{Gain: 0.5, MaxSpeedup: 3, Intr: 1, Class: cloud.XLarge, EgressPerGB: 0.12}
+	path, ok := p.WidestPath(src, dst)
+	if !ok {
+		t.Fatalf("no path %s -> %s", src, dst)
+	}
+	if _, ok := p.PlanMultipath(src, dst, 12, par, 3); !ok {
+		t.Fatalf("no multipath %s -> %s", src, dst)
+	}
+
+	// Off-path link toggled strictly below the bottleneck: cache hit.
+	onPath := map[int]bool{}
+	for _, s := range path.Sites {
+		onPath[cw.idx[s]] = true
+	}
+	var off [2]int
+	for _, l := range cw.links {
+		if !onPath[l[0]] && !onPath[l[1]] {
+			off = l
+			break
+		}
+	}
+	lo, hi := path.Bottleneck*0.25, path.Bottleneck*0.30
+	i := 0
+	hit := func() {
+		v := lo
+		if i&1 == 1 {
+			v = hi
+		}
+		i++
+		cw.w[off[0]*cw.n+off[1]] = v
+		p.MarkDirty(cw.sites[off[0]], cw.sites[off[1]])
+		p.WidestPath(src, dst)
+		p.PlanMultipath(src, dst, 12, par, 3)
+	}
+	hit() // absorb the one-time invalidation of the first weight change
+	if n := testing.AllocsPerRun(100, hit); n != 0 {
+		t.Errorf("cache-hit replan allocates %.1f/op; budget is 0", n)
+	}
+
+	// The bottleneck edge itself perturbed: repair path.
+	var bfi, bti int
+	for j := 0; j+1 < len(path.Sites); j++ {
+		fi, ti := cw.idx[path.Sites[j]], cw.idx[path.Sites[j+1]]
+		if cw.w[fi*cw.n+ti] == path.Bottleneck {
+			bfi, bti = fi, ti
+			break
+		}
+	}
+	base := cw.w[bfi*cw.n+bti]
+	repair := func() {
+		f := 1.01
+		if i&1 == 1 {
+			f = 0.99
+		}
+		i++
+		cw.w[bfi*cw.n+bti] = base * f
+		p.MarkDirty(cw.sites[bfi], cw.sites[bti])
+		p.WidestPath(src, dst)
+		p.PlanMultipath(src, dst, 12, par, 3)
+	}
+	repair()
+	if n := testing.AllocsPerRun(100, repair); n != 0 {
+		t.Errorf("repair replan allocates %.1f/op; budget is 0", n)
+	}
+}
+
+// TestPlannerStatsTaxonomy checks the hit/repair/full accounting on a small
+// deterministic graph: first query is a full recompute, an untouched repeat
+// is a cache hit, and a bottleneck change forces a repair.
+func TestPlannerStatsTaxonomy(t *testing.T) {
+	w := map[[2]cloud.SiteID]float64{
+		{"A", "B"}: 10, {"B", "C"}: 8, {"A", "C"}: 2,
+	}
+	p := NewPlanner([]cloud.SiteID{"A", "B", "C"}, func(from, to cloud.SiteID) float64 {
+		return w[[2]cloud.SiteID{from, to}]
+	})
+	path, ok := p.WidestPath("A", "C")
+	if !ok || path.Bottleneck != 8 {
+		t.Fatalf("want A>B>C at 8, got %v %v", path, ok)
+	}
+	if s := p.Stats(); s.Replans != 1 || s.FullRecomputes != 1 {
+		t.Fatalf("first query: %+v", s)
+	}
+	if _, ok := p.WidestPath("A", "C"); !ok {
+		t.Fatal("route lost")
+	}
+	if s := p.Stats(); s.CacheHits != 1 {
+		t.Fatalf("repeat query should hit: %+v", s)
+	}
+	// A change below the bottleneck survives; the low direct edge moves
+	// 2 -> 3, both under 8.
+	w[[2]cloud.SiteID{"A", "C"}] = 3
+	p.MarkDirty("A", "C")
+	if _, ok := p.WidestPath("A", "C"); !ok {
+		t.Fatal("route lost")
+	}
+	if s := p.Stats(); s.CacheHits != 2 {
+		t.Fatalf("sub-bottleneck change should still hit: %+v", s)
+	}
+	// Touching the bottleneck edge invalidates: 8 -> 12 re-widens the path.
+	w[[2]cloud.SiteID{"B", "C"}] = 12
+	p.MarkDirty("B", "C")
+	path, ok = p.WidestPath("A", "C")
+	if !ok || path.Bottleneck != 10 {
+		t.Fatalf("want A>B>C at 10 after widening, got %v %v", path, ok)
+	}
+	if s := p.Stats(); s.Repairs != 1 {
+		t.Fatalf("bottleneck change should repair: %+v", s)
+	}
+	// DirtyEdges counts commits, ChangedEdges the subset that moved.
+	if s := p.Stats(); s.DirtyEdges < 2 || s.ChangedEdges < 2 {
+		t.Fatalf("dirty accounting: %+v", s)
+	}
+}
+
+// TestPlannerNoRouteCached pins the "no route" caching rule: a disconnected
+// answer is cached, survives unrelated weight changes, and is invalidated by
+// an edge revival.
+func TestPlannerNoRouteCached(t *testing.T) {
+	sites := []cloud.SiteID{"A", "B", "C"}
+	w := map[[2]cloud.SiteID]float64{{"A", "B"}: 10}
+	p := NewPlanner(sites, func(from, to cloud.SiteID) float64 { return w[[2]cloud.SiteID{from, to}] })
+
+	if _, ok := p.WidestPath("A", "C"); ok {
+		t.Fatal("unexpected route A->C")
+	}
+	if s := p.Stats(); s.FullRecomputes != 1 {
+		t.Fatalf("first query should be a full recompute: %+v", s)
+	}
+	// Unrelated weight drift: the cached "no route" must survive as a hit.
+	w[[2]cloud.SiteID{"A", "B"}] = 12
+	p.MarkDirty("A", "C") // noise: unchanged pair
+	p.MarkDirty("A", "B")
+	if _, ok := p.WidestPath("A", "C"); ok {
+		t.Fatal("unexpected route A->C")
+	}
+	if s := p.Stats(); s.CacheHits != 1 {
+		t.Fatalf("no-route answer should have been a cache hit: %+v", s)
+	}
+	// Revival connects B->C: the cached "no route" must be repaired.
+	w[[2]cloud.SiteID{"B", "C"}] = 5
+	p.MarkDirty("B", "C")
+	path, ok := p.WidestPath("A", "C")
+	if !ok || path.Bottleneck != 5 || len(path.Sites) != 3 {
+		t.Fatalf("expected A>B>C at 5 after revival, got %v %v", path, ok)
+	}
+	if s := p.Stats(); s.Repairs != 1 {
+		t.Fatalf("revival should repair the cached no-route: %+v", s)
+	}
+}
+
+// TestPlannerCacheEviction fills the plan cache past its capacity and checks
+// the FIFO eviction costs only a recompute, never a wrong answer.
+func TestPlannerCacheEviction(t *testing.T) {
+	cw := newChurnWorld(40, 5)
+	p := NewPlanner(cw.sites, cw.est)
+	// Query maxCachedPlans+1 distinct pairs; the first key gets evicted.
+	pairs := 0
+	var first [2]cloud.SiteID
+	for fi := 0; fi < cw.n && pairs <= maxCachedPlans; fi++ {
+		for ti := 0; ti < cw.n && pairs <= maxCachedPlans; ti++ {
+			if fi == ti {
+				continue
+			}
+			if pairs == 0 {
+				first = [2]cloud.SiteID{cw.sites[fi], cw.sites[ti]}
+			}
+			p.WidestPath(cw.sites[fi], cw.sites[ti])
+			pairs++
+		}
+	}
+	before := p.Stats()
+	oracle := GraphFromEstimates(cw.sites, cw.est)
+	wantP, wantOK := oracle.WidestPath(first[0], first[1])
+	gotP, gotOK := p.WidestPath(first[0], first[1])
+	if wantOK != gotOK || (wantOK && !samePath(wantP, gotP)) {
+		t.Fatalf("evicted pair answered wrongly: %v,%v want %v,%v", gotP, gotOK, wantP, wantOK)
+	}
+	after := p.Stats()
+	if after.FullRecomputes != before.FullRecomputes+1 {
+		t.Fatalf("re-querying the evicted pair should be a full recompute: %+v -> %+v", before, after)
+	}
+}
+
+// TestPlannerMarkDirtyUnknownSite checks marks for sites outside the
+// planner's world are ignored rather than panicking.
+func TestPlannerMarkDirtyUnknownSite(t *testing.T) {
+	p := NewPlanner([]cloud.SiteID{"A", "B"}, func(_, _ cloud.SiteID) float64 { return 1 })
+	p.MarkDirty("A", "NOPE")
+	p.MarkDirty("NOPE", "B")
+	p.MarkDirty("A", "A")
+	if path, ok := p.WidestPath("A", "B"); !ok || path.Bottleneck != 1 {
+		t.Fatalf("got %v %v", path, ok)
+	}
+}

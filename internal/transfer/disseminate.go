@@ -8,7 +8,6 @@ import (
 
 	"sage/internal/cloud"
 	"sage/internal/netsim"
-	"sage/internal/route"
 )
 
 // DisseminateRequest replicates one dataset from a source site to several
@@ -145,8 +144,7 @@ type edgeWorker struct {
 // chunks down it: each site forwards a chunk to its children the moment it
 // arrives, so the pipeline depth is the tree height.
 func (m *Manager) disseminateTree(req DisseminateRequest, onDone func(DisseminateResult)) error {
-	tree, ok := route.GraphFromEstimates(m.net.Topology().SiteIDs(), m.estimate).
-		WidestTree(req.From, req.Dests)
+	tree, ok := m.RouteGraph().WidestTree(req.From, req.Dests)
 	if !ok {
 		return fmt.Errorf("transfer: no dissemination tree %s -> %v", req.From, req.Dests)
 	}

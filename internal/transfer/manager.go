@@ -200,10 +200,19 @@ type Manager struct {
 	poolNext map[cloud.SiteID]int
 	nextID   uint64
 
+	// planner is the persistent incremental route planner. The monitor's
+	// estimate-change hook marks edges dirty; every plan query refreshes
+	// only those edges instead of rebuilding an n² estimate matrix.
+	planner *route.Planner
+
 	// met / lm are the observability families and the per-link handle cache
 	// (zero/nil when the layer is off).
 	met transferMetrics
 	lm  map[[2]cloud.SiteID]*linkMetrics
+	// pm / lastPlanner export planner behaviour: after each planner call the
+	// manager diffs the cumulative PlannerStats into the obs counters.
+	pm          plannerMetrics
+	lastPlanner route.PlannerStats
 }
 
 // NewManager builds a Manager. mon may be nil, in which case planning falls
@@ -211,7 +220,7 @@ type Manager struct {
 // recorded.
 func NewManager(net *netsim.Network, mon *monitor.Service, opt Options) *Manager {
 	opt = opt.withDefaults()
-	return &Manager{
+	m := &Manager{
 		net:   net,
 		mon:   mon,
 		sched: net.Scheduler(),
@@ -221,7 +230,13 @@ func NewManager(net *netsim.Network, mon *monitor.Service, opt Options) *Manager
 		poolNext: make(map[cloud.SiteID]int),
 		met:      newTransferMetrics(opt.Obs.Registry()),
 		lm:       make(map[[2]cloud.SiteID]*linkMetrics),
+		pm:       newPlannerMetrics(opt.Obs.Registry()),
 	}
+	m.planner = route.NewPlanner(net.Topology().SiteIDs(), m.estimate)
+	if mon != nil {
+		mon.OnEstimateChange(m.planner.MarkDirty)
+	}
+	return m
 }
 
 // Deploy provisions count VMs of the class in a site's worker pool.
@@ -272,9 +287,33 @@ func (m *Manager) estimate(from, to cloud.SiteID) float64 {
 	return 0
 }
 
-// graph builds the routing graph from current estimates.
-func (m *Manager) graph() *route.Graph {
-	return route.GraphFromEstimates(m.net.Topology().SiteIDs(), m.estimate)
+// RouteGraph refreshes the planner's dirty edges and returns the live
+// routing graph — weight-identical to a from-scratch GraphFromEstimates
+// build over current estimates, without the n² rebuild. The view is
+// read-only and valid until the next planner query.
+func (m *Manager) RouteGraph() *route.Graph {
+	g := m.planner.Graph()
+	m.notePlanner()
+	return g
+}
+
+// Planner exposes the manager's incremental route planner for reports and
+// tests.
+func (m *Manager) Planner() *route.Planner { return m.planner }
+
+// widestPath plans the current widest path through the incremental planner.
+func (m *Manager) widestPath(from, to cloud.SiteID) (route.Path, bool) {
+	p, ok := m.planner.WidestPath(from, to)
+	m.notePlanner()
+	return p, ok
+}
+
+// planMultipath plans the current multipath allocation through the
+// incremental planner.
+func (m *Manager) planMultipath(from, to cloud.SiteID, budget int, par model.Params, maxPaths int) (route.Allocation, bool) {
+	a, ok := m.planner.PlanMultipath(from, to, budget, par, maxPaths)
+	m.notePlanner()
+	return a, ok
 }
 
 func (m *Manager) observe(from, to cloud.SiteID, mbps float64) {
@@ -507,7 +546,7 @@ func (t *transferRun) buildLanes() ([]*lane, error) {
 			chains = append(chains, []cloud.SiteID{t.req.From, t.req.To})
 		}
 	case WidestStatic, WidestDynamic:
-		p, ok := t.m.graph().WidestPath(t.req.From, t.req.To)
+		p, ok := t.m.widestPath(t.req.From, t.req.To)
 		if !ok {
 			return nil, fmt.Errorf("transfer: no path %s -> %s", t.req.From, t.req.To)
 		}
@@ -515,7 +554,7 @@ func (t *transferRun) buildLanes() ([]*lane, error) {
 			chains = append(chains, p.Sites)
 		}
 	case MultipathStatic, MultipathDynamic:
-		alloc, ok := route.PlanMultipath(t.m.graph(), t.req.From, t.req.To,
+		alloc, ok := t.m.planMultipath(t.req.From, t.req.To,
 			t.req.NodeBudget, t.planParams(), t.req.MaxPaths)
 		if !ok {
 			return nil, fmt.Errorf("transfer: multipath planning failed %s -> %s", t.req.From, t.req.To)
@@ -734,6 +773,7 @@ func (t *transferRun) replan() {
 	t.m.record(trace.NewReplan(t.m.sched.Now(), string(t.req.From), string(t.req.To), t.stats.Replans, t.req.Strategy.String()))
 	if t.lm != nil {
 		t.lm.replans.Inc()
+		t.m.opt.Obs.Spans().Replan(t.m.sched.Now(), string(t.req.From), string(t.req.To), len(lanes), t.id)
 	}
 	// Drain current lanes and discard the ones that are already idle.
 	kept := t.lanes[:0]
