@@ -13,7 +13,7 @@
 //	sagebench -exp 3
 //	sagebench -quick -seed 7
 //	sagebench -exp 9 -csv > f9.csv
-//	sagebench -perf                       # rewrites BENCH_netsim.json + BENCH_stream.json + BENCH_obs.json + BENCH_scale.json + BENCH_route.json
+//	sagebench -perf                       # rewrites BENCH_netsim.json + BENCH_stream.json + BENCH_obs.json + BENCH_scale.json + BENCH_route.json + BENCH_transfer.json
 //	sagebench -exp 20 -shards 4           # scale experiment on a 4-shard core
 //	sagebench -quick -cpuprofile cpu.out  # profile the whole quick suite
 package main
@@ -31,22 +31,23 @@ import (
 
 func main() {
 	var (
-		expID         = flag.Int("exp", 0, "experiment ID to run (0 = all)")
-		quick         = flag.Bool("quick", false, "reduced sizes/durations")
-		seed          = flag.Uint64("seed", 1, "random seed")
-		csv           = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		list          = flag.Bool("list", false, "list experiments and exit")
-		perf          = flag.Bool("perf", false, "run perf baselines and write -perf-out / -perf-stream-out / -perf-obs-out")
-		perfOut       = flag.String("perf-out", "BENCH_netsim.json", "output path for the netsim -perf baseline")
-		perfStreamOut = flag.String("perf-stream-out", "BENCH_stream.json", "output path for the stream -perf baseline")
-		perfObsOut    = flag.String("perf-obs-out", "BENCH_obs.json", "output path for the observability -perf baseline")
-		perfScaleOut  = flag.String("perf-scale-out", "BENCH_scale.json", "output path for the shard-scaling -perf baseline")
-		perfRouteOut  = flag.String("perf-route-out", "BENCH_route.json", "output path for the route-planner -perf baseline")
-		shards        = flag.Int("shards", 0, "event-core shards for every experiment (0 = 1 or $SAGE_SHARDS; results are byte-identical for any count)")
-		worldSites    = flag.Int("world-sites", 0, "override the generated-world site count of the scale experiment")
-		worldRegions  = flag.Int("world-regions", 0, "override the generated-world region count of the scale experiment")
-		cpuprofile    = flag.String("cpuprofile", "", "write CPU profile to file")
-		memprofile    = flag.String("memprofile", "", "write heap profile to file")
+		expID           = flag.Int("exp", 0, "experiment ID to run (0 = all)")
+		quick           = flag.Bool("quick", false, "reduced sizes/durations")
+		seed            = flag.Uint64("seed", 1, "random seed")
+		csv             = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list            = flag.Bool("list", false, "list experiments and exit")
+		perf            = flag.Bool("perf", false, "run perf baselines and write -perf-out / -perf-stream-out / -perf-obs-out")
+		perfOut         = flag.String("perf-out", "BENCH_netsim.json", "output path for the netsim -perf baseline")
+		perfStreamOut   = flag.String("perf-stream-out", "BENCH_stream.json", "output path for the stream -perf baseline")
+		perfObsOut      = flag.String("perf-obs-out", "BENCH_obs.json", "output path for the observability -perf baseline")
+		perfScaleOut    = flag.String("perf-scale-out", "BENCH_scale.json", "output path for the shard-scaling -perf baseline")
+		perfRouteOut    = flag.String("perf-route-out", "BENCH_route.json", "output path for the route-planner -perf baseline")
+		perfTransferOut = flag.String("perf-transfer-out", "BENCH_transfer.json", "output path for the transfer-executor -perf baseline")
+		shards          = flag.Int("shards", 0, "event-core shards for every experiment (0 = 1 or $SAGE_SHARDS; results are byte-identical for any count)")
+		worldSites      = flag.Int("world-sites", 0, "override the generated-world site count of the scale experiment")
+		worldRegions    = flag.Int("world-regions", 0, "override the generated-world region count of the scale experiment")
+		cpuprofile      = flag.String("cpuprofile", "", "write CPU profile to file")
+		memprofile      = flag.String("memprofile", "", "write heap profile to file")
 	)
 	flag.Parse()
 
@@ -165,6 +166,23 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "replan speedup at 10 dirty edges: %.0fx over from-scratch\n", rt.ReplanSpeedup10At500)
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *perfRouteOut)
+
+		fmt.Fprintln(os.Stderr, "measuring transfer-executor baseline (100/1k/10k-chunk transfers)...")
+		tr := bench.RunTransferPerfBaseline()
+		if err := os.WriteFile(*perfTransferOut, tr.JSON(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sagebench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, key := range []string{
+			"TransferDirect/chunks=10000", "TransferEnvAware/chunks=10000",
+			"TransferMultipathDynamic/chunks=10000", "TransferFailoverChurn/chunks=1000",
+		} {
+			r := tr.Benchmarks[key]
+			fmt.Fprintf(os.Stderr, "%-38s %12.0f ns/op %6d allocs/op\n", key, r.NsPerOp, r.AllocsPerOp)
+		}
+		fmt.Fprintf(os.Stderr, "alloc reduction vs pre-rewrite executor at 10k chunks: %.0fx (speedup %.1fx)\n",
+			tr.AllocReduction10k, tr.Speedup10k)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *perfTransferOut)
 		return
 	}
 

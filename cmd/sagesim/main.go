@@ -13,12 +13,17 @@
 // byte-identical for every K:
 //
 //	sagesim -world-sites 200 -world-regions 8 -shards 4 -rate 100 -minutes 5
+//
+// -cpuprofile/-memprofile capture pprof profiles of the run, mirroring the
+// same flags on sagebench.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -61,10 +66,43 @@ func main() {
 		shards       = flag.Int("shards", 1, "event-core shards (1 = sequential; any count gives byte-identical results)")
 		worldSites   = flag.Int("world-sites", 0, "simulate a generated world with this many sites (0 = the built-in topology)")
 		worldRegions = flag.Int("world-regions", 4, "regions of the generated world (used with -world-sites)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write CPU profile of the run to file")
+		memprofile = flag.String("memprofile", "", "write heap profile of the run to file")
 	)
 	flag.Parse()
 	explicit := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sagesim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sagesim: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sagesim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sagesim: %v\n", err)
+			os.Exit(1)
+		}
+	}()
 
 	if *scenarioPath != "" {
 		runScenario(*scenarioPath)

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"sage/internal/transfer"
+)
+
+// Pre-rewrite reference cost of the transfer executor, measured on the same
+// diamond rig immediately before the pooled/closure-free rewrite (per-chunk
+// heap objects from splitChunks, a closure plus watchdog closure per hop
+// flow, and map-based dedup/egress/node bookkeeping): ~16 allocations per
+// chunk end to end. The committed baseline's alloc-reduction ratio is
+// measured against this constant, since the old implementation no longer
+// exists to benchmark.
+const (
+	preRewriteDirect10kAllocs  = 159868 // allocs/op, Direct, 10k x 1 MiB chunks
+	preRewriteDirect10kNsPerOp = 25.07e6
+)
+
+// TransferBaseline is the machine-readable transfer-executor performance
+// snapshot written to BENCH_transfer.json by `sagebench -perf`. It records
+// the strategy/chunk-count sweep plus the lane-failover churn case, and the
+// two numbers behind the executor's budgets: zero allocations per transfer
+// at steady state, and >= 5x fewer allocations than the pre-rewrite
+// executor on the 10k-chunk benchmark.
+type TransferBaseline struct {
+	GoVersion  string                `json:"go_version"`
+	GOARCH     string                `json:"goarch"`
+	Benchmarks map[string]PerfResult `json:"benchmarks"`
+	// AllocReduction10k is the pre-rewrite Direct/10k-chunk allocation count
+	// divided by the measured one (floored at 1 alloc to stay finite).
+	AllocReduction10k float64 `json:"alloc_reduction_10k_chunks"`
+	// Speedup10k is the pre-rewrite Direct/10k-chunk ns/op divided by the
+	// measured one — machine-dependent, recorded for context only.
+	Speedup10k float64 `json:"speedup_10k_chunks"`
+}
+
+// transferPerfChunkSweep is the chunk-count sweep of the Direct benchmark.
+var transferPerfChunkSweep = []int{100, 1000, 10000}
+
+// transferPerfSteadyKeys lists the benchmark keys held to the zero-alloc
+// steady-state budget (the failover-churn case legitimately allocates on
+// lane rebuilds).
+func transferPerfSteadyKeys() []string {
+	keys := make([]string, 0, len(transferPerfChunkSweep)+2)
+	for _, n := range transferPerfChunkSweep {
+		keys = append(keys, transfer.BenchName(transfer.Direct, n))
+	}
+	keys = append(keys,
+		transfer.BenchName(transfer.EnvAware, 10000),
+		transfer.BenchName(transfer.MultipathDynamic, 10000))
+	return keys
+}
+
+// RunTransferPerfBaseline measures the transfer benchmarks and returns the
+// snapshot written to BENCH_transfer.json.
+func RunTransferPerfBaseline() TransferBaseline {
+	p := TransferBaseline{
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: make(map[string]PerfResult),
+	}
+	rec := func(name string, r testing.BenchmarkResult) PerfResult {
+		pr := PerfResult{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		p.Benchmarks[name] = pr
+		return pr
+	}
+	var direct10k PerfResult
+	for _, n := range transferPerfChunkSweep {
+		n := n
+		r := rec(transfer.BenchName(transfer.Direct, n),
+			testing.Benchmark(func(b *testing.B) { transfer.RunBenchmarkTransfer(b, transfer.Direct, n) }))
+		if n == 10000 {
+			direct10k = r
+		}
+	}
+	rec(transfer.BenchName(transfer.EnvAware, 10000),
+		testing.Benchmark(func(b *testing.B) { transfer.RunBenchmarkTransfer(b, transfer.EnvAware, 10000) }))
+	rec(transfer.BenchName(transfer.MultipathDynamic, 10000),
+		testing.Benchmark(func(b *testing.B) { transfer.RunBenchmarkTransfer(b, transfer.MultipathDynamic, 10000) }))
+	rec("TransferFailoverChurn/chunks=1000",
+		testing.Benchmark(func(b *testing.B) { transfer.RunBenchmarkFailoverChurn(b, 1000) }))
+	allocs := direct10k.AllocsPerOp
+	if allocs < 1 {
+		allocs = 1
+	}
+	p.AllocReduction10k = float64(preRewriteDirect10kAllocs) / float64(allocs)
+	if direct10k.NsPerOp > 0 {
+		p.Speedup10k = preRewriteDirect10kNsPerOp / direct10k.NsPerOp
+	}
+	return p
+}
+
+// JSON renders the baseline as indented JSON with a trailing newline.
+func (p TransferBaseline) JSON() []byte {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		panic(err) // static struct: cannot fail
+	}
+	return append(b, '\n')
+}
+
+// transferBenchKeyList returns every key the baseline must cover.
+func transferBenchKeyList() []string {
+	return append(transferPerfSteadyKeys(), "TransferFailoverChurn/chunks=1000")
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTransferPerfBaselineFileValid guards the committed BENCH_transfer.json:
+// it must parse, cover the full sweep, and hold the executor's two
+// machine-independent budgets — a steady-state transfer (pooled run, lanes,
+// chunk slab and flow objects all reused) allocates nothing per op, and the
+// 10k-chunk Direct benchmark allocates at least 5x less than the
+// pre-rewrite executor it replaced.
+func TestTransferPerfBaselineFileValid(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_transfer.json"))
+	if err != nil {
+		t.Fatalf("missing transfer baseline (regenerate with `go run ./cmd/sagebench -perf`): %v", err)
+	}
+	var p TransferBaseline
+	if err := json.Unmarshal(raw, &p); err != nil {
+		t.Fatalf("BENCH_transfer.json does not parse: %v", err)
+	}
+	if p.GoVersion == "" || p.GOARCH == "" {
+		t.Fatalf("baseline missing toolchain stamp: %+v", p)
+	}
+	for _, key := range transferBenchKeyList() {
+		r, ok := p.Benchmarks[key]
+		if !ok || r.NsPerOp <= 0 {
+			t.Fatalf("baseline missing or degenerate %s: %+v", key, r)
+		}
+	}
+	for _, key := range transferPerfSteadyKeys() {
+		if r := p.Benchmarks[key]; r.AllocsPerOp != 0 {
+			t.Fatalf("%s allocates %d per op in the committed baseline; the steady-state budget is 0", key, r.AllocsPerOp)
+		}
+	}
+	if p.AllocReduction10k < 5 {
+		t.Fatalf("10k-chunk transfer allocates only %.1fx less than the pre-rewrite executor; the budget is >= 5x",
+			p.AllocReduction10k)
+	}
+}

@@ -863,7 +863,9 @@ func (e *Engine) shipResume(run *JobRun, s *sourceState, cw stream.Closed, event
 			bytes, uint64(cw.Window.Start))
 	}
 	lanes := req.Lanes
-	h, err := e.Mgr.Transfer(req, func(res transfer.Result) {
+	var h *transfer.Handle
+	var err error
+	h, err = e.Mgr.Transfer(req, func(res transfer.Result) {
 		*inflight--
 		if job.Calibrate && e.Calib != nil {
 			e.Calib.RecordNormalized(s.spec.Site, e.Sched.Now(), lanes, res.Duration, res.Bytes)
@@ -875,6 +877,9 @@ func (e *Engine) shipResume(run *JobRun, s *sourceState, cw stream.Closed, event
 			run.guard.noteSkipped(res.SkippedBytes)
 		}
 		arrive(res.Duration, res.NodesUsed, res.Cost)
+		// noteArrive (inside arrive) has dropped the guard's reference, so
+		// the run can return to the manager's pool for the next window.
+		e.Mgr.Recycle(h)
 	})
 	if err != nil {
 		*inflight--

@@ -71,7 +71,9 @@ func (e *Engine) Gather(spec GatherSpec) (*GatherReport, error) {
 			MaxPaths: spec.MaxPaths, Intr: spec.Intr,
 		}
 		remaining++
-		_, err := e.Mgr.Transfer(req, func(res transfer.Result) {
+		var h *transfer.Handle
+		var err error
+		h, err = e.Mgr.Transfer(req, func(res transfer.Result) {
 			remaining--
 			sg := SiteGather{
 				Site: site, Bytes: res.Bytes,
@@ -83,6 +85,7 @@ func (e *Engine) Gather(spec GatherSpec) (*GatherReport, error) {
 			if d := e.Sched.Now() - start; d > rep.Makespan {
 				rep.Makespan = d
 			}
+			e.Mgr.Recycle(h)
 		})
 		if err != nil {
 			return nil, err

@@ -57,17 +57,24 @@ type LinkProfile struct {
 func Profiles(mon *monitor.Service, topo *cloud.Topology) []LinkProfile {
 	var out []LinkProfile
 	ids := topo.SiteIDs()
+	// Scratch reused across the n² link sweep: one history snapshot and one
+	// value vector, grown to the largest ring and then allocation-free.
+	var samples []monitor.Sample
+	var vals []float64
 	for _, from := range ids {
 		for _, to := range ids {
 			if from == to || topo.Link(from, to) == nil {
 				continue
 			}
 			st := mon.State(from, to)
-			samples := st.History.Samples()
+			samples = st.History.AppendTo(samples[:0])
 			if len(samples) == 0 {
 				continue
 			}
-			vals := make([]float64, len(samples))
+			if cap(vals) < len(samples) {
+				vals = make([]float64, len(samples))
+			}
+			vals = vals[:len(samples)]
 			for i, s := range samples {
 				vals[i] = s.Value
 			}

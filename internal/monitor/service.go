@@ -48,14 +48,20 @@ func (h *History) Total() int { return h.total }
 
 // Samples returns the retained samples oldest-first.
 func (h *History) Samples() []Sample {
-	out := make([]Sample, 0, len(h.buf))
+	return h.AppendTo(make([]Sample, 0, len(h.buf)))
+}
+
+// AppendTo appends the retained samples oldest-first to dst and returns the
+// extended slice — the zero-allocation variant of Samples for polling
+// callers that reuse a scratch buffer across rounds.
+func (h *History) AppendTo(dst []Sample) []Sample {
 	if len(h.buf) == cap(h.buf) {
-		out = append(out, h.buf[h.next:]...)
-		out = append(out, h.buf[:h.next]...)
+		dst = append(dst, h.buf[h.next:]...)
+		dst = append(dst, h.buf[:h.next]...)
 	} else {
-		out = append(out, h.buf...)
+		dst = append(dst, h.buf...)
 	}
-	return out
+	return dst
 }
 
 // LinkKey identifies a directed inter-site link.

@@ -1,0 +1,94 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"sage/internal/cloud"
+)
+
+// TestFlowPoolReuse pins the flow pool contract: a released flow object is
+// handed out again by the next StartFlow with fully reset state, and its
+// activation/completion events are rearmed rather than reallocated.
+func TestFlowPoolReuse(t *testing.T) {
+	sched, net := newQuiet(t)
+	src := net.NewNode("A", cloud.Small)
+	dst := net.NewNode("B", cloud.Small)
+
+	var got *Flow
+	first := net.StartFlow(src, dst, 10e6, FlowOpts{}, func(f *Flow) {
+		got = f
+		net.ReleaseFlow(f)
+	})
+	sched.RunUntil(time.Minute)
+	if got != first || got.Err() != nil {
+		t.Fatalf("first flow: got=%p first=%p err=%v", got, first, got.Err())
+	}
+
+	second := net.StartFlow(src, dst, 20e6, FlowOpts{}, nil)
+	if second != first {
+		t.Fatalf("pooled flow not reused: second=%p first=%p", second, first)
+	}
+	if second.Finished() || second.Err() != nil || second.BytesDone() != 0 {
+		t.Fatalf("reused flow state not reset: finished=%v err=%v done=%v",
+			second.Finished(), second.Err(), second.BytesDone())
+	}
+	sched.RunFor(10 * time.Minute)
+	if !second.Finished() || second.Err() != nil {
+		t.Fatalf("reused flow did not complete cleanly: finished=%v err=%v",
+			second.Finished(), second.Err())
+	}
+	// 20 MB at 10 MB/s: ~2s. A stale deadline or rate from the first run
+	// would show up here.
+	want := 2 * time.Second
+	if d := second.Duration(); d < want-100*time.Millisecond || d > want+300*time.Millisecond {
+		t.Fatalf("reused flow duration = %v, want ~%v", d, want)
+	}
+}
+
+// TestReleaseFlowGuards pins the no-op paths: releasing nil, an unfinished
+// flow, or the same flow twice must not corrupt the pool.
+func TestReleaseFlowGuards(t *testing.T) {
+	sched, net := newQuiet(t)
+	src := net.NewNode("A", cloud.Small)
+	dst := net.NewNode("B", cloud.Small)
+
+	net.ReleaseFlow(nil) // no-op
+
+	f := net.StartFlow(src, dst, 10e6, FlowOpts{}, nil)
+	net.ReleaseFlow(f) // unfinished: must be refused
+	if len(net.flowFree) != 0 {
+		t.Fatalf("unfinished flow entered the pool (%d pooled)", len(net.flowFree))
+	}
+	sched.RunUntil(time.Minute)
+	if !f.Finished() {
+		t.Fatal("flow did not finish")
+	}
+	net.ReleaseFlow(f)
+	net.ReleaseFlow(f) // double release: must not pool twice
+	if len(net.flowFree) != 1 {
+		t.Fatalf("pool holds %d flows after double release, want 1", len(net.flowFree))
+	}
+}
+
+// TestFlowPoolCancelledFlow ensures an errored (cancelled) flow can be
+// recycled and behaves like new.
+func TestFlowPoolCancelledFlow(t *testing.T) {
+	sched, net := newQuiet(t)
+	src := net.NewNode("A", cloud.Small)
+	dst := net.NewNode("B", cloud.Small)
+
+	f := net.StartFlow(src, dst, 100e6, FlowOpts{}, func(f *Flow) { net.ReleaseFlow(f) })
+	sched.RunFor(time.Second)
+	net.CancelFlow(f)
+	sched.RunFor(time.Second) // drain the deferred completion callback
+
+	g := net.StartFlow(src, dst, 10e6, FlowOpts{}, nil)
+	if g != f {
+		t.Fatalf("cancelled flow not reused: got %p want %p", g, f)
+	}
+	sched.RunFor(time.Minute)
+	if !g.Finished() || g.Err() != nil {
+		t.Fatalf("reused flow after cancel: finished=%v err=%v", g.Finished(), g.Err())
+	}
+}

@@ -172,6 +172,7 @@ type Flow struct {
 	resources  []*resource
 	activation *simtime.Event
 	network    *Network
+	link       *wanLink
 
 	// resBuf backs resources (at most up, down, WAN link, rate cap) so
 	// starting a flow does not allocate a resource slice.
@@ -185,6 +186,15 @@ type Flow struct {
 	// projEnd is the projected completion time under the current rate,
 	// maintained by reallocate for the wake-up heap.
 	projEnd simtime.Time
+
+	// activateFn / doneFn are the activation and deferred-completion
+	// callbacks, bound to the Flow once so pooled reuse schedules no new
+	// closures; doneEv is the reusable deferred-completion event. released
+	// marks a flow currently sitting in the network's free list.
+	activateFn func()
+	doneFn     func()
+	doneEv     *simtime.Event
+	released   bool
 }
 
 // Size returns the flow size in bytes.
@@ -309,6 +319,10 @@ type Network struct {
 	resOrderScratch  []*resource
 	completedScratch []*Flow
 	etaHeap          []*Flow
+
+	// flowFree is the pool of finished flows handed back via ReleaseFlow,
+	// reused by StartFlow so steady-state traffic creates no Flow objects.
+	flowFree []*Flow
 }
 
 // New builds a Network over the topology. Link variability starts
@@ -487,6 +501,9 @@ type FlowOpts struct {
 // StartFlow begins a transfer of size bytes from src to dst. onDone fires
 // when the flow completes or aborts; inspect Flow.Err. The flow begins
 // consuming bandwidth after a connection-setup delay of one RTT.
+//
+// The returned Flow may come from the network's pool (see ReleaseFlow); it is
+// valid until the owner releases it or drops the last reference.
 func (n *Network) StartFlow(src, dst *Node, size int64, opts FlowOpts, onDone func(*Flow)) *Flow {
 	if src == dst {
 		panic("netsim: flow from a node to itself")
@@ -494,52 +511,100 @@ func (n *Network) StartFlow(src, dst *Node, size int64, opts FlowOpts, onDone fu
 	if size <= 0 {
 		panic("netsim: flow size must be positive")
 	}
-	f := &Flow{
-		ID: n.nextID, Src: src, Dst: dst,
-		size: size, started: n.sched.Now(), lastUpdate: n.sched.Now(),
-		capMBps: opts.CapMBps, background: opts.Background,
-		onDone: onDone, network: n,
-	}
+	f := n.acquireFlow()
+	f.ID = n.nextID
+	f.Src, f.Dst = src, dst
+	f.size = size
+	f.started, f.lastUpdate = n.sched.Now(), n.sched.Now()
+	f.capMBps = opts.CapMBps
+	f.background = opts.Background
+	f.onDone = onDone
+	f.network = n
 	n.nextID++
 	f.resources = append(f.resBuf[:0], src.up, dst.down)
-	var link *wanLink
+	f.link = nil
 	if src.Site != dst.Site {
-		link = n.links[[2]cloud.SiteID{src.Site, dst.Site}]
-		if link == nil {
+		f.link = n.links[[2]cloud.SiteID{src.Site, dst.Site}]
+		if f.link == nil {
 			panic(fmt.Sprintf("netsim: no link %s -> %s", src.Site, dst.Site))
 		}
-		f.resources = append(f.resources, link.res)
+		f.resources = append(f.resources, f.link.res)
 	}
 	if f.capMBps > 0 {
-		f.capRes = resource{name: "cap", fixedCap: f.capMBps}
+		f.capRes.name = "cap"
+		f.capRes.fixedCap = f.capMBps
 		f.resources = append(f.resources, &f.capRes)
 	}
 	n.live = append(n.live, f) // IDs increase, so append keeps ID order
-	activate := func() {
-		if f.finished {
-			return
-		}
-		n.advance()
-		f.active = true
-		f.lastUpdate = n.sched.Now()
-		for _, r := range f.resources {
-			r.flows = insertFlowByID(r.flows, f)
-		}
-		if link != nil && !f.background {
-			link.senders[src]++
-		}
-		n.reallocate()
-	}
 	if opts.NoActivationDelay {
-		activate()
+		f.activate()
 	} else {
 		rtt, ok := n.topo.RTT(src.Site, dst.Site)
 		if !ok {
 			panic(fmt.Sprintf("netsim: no RTT %s -> %s", src.Site, dst.Site))
 		}
-		f.activation = n.sched.After(rtt, activate)
+		if f.activateFn == nil {
+			f.activateFn = f.activate
+		}
+		if f.activation == nil {
+			f.activation = n.sched.After(rtt, f.activateFn)
+		} else {
+			n.sched.Reschedule(f.activation, n.sched.Now()+rtt)
+		}
 	}
 	return f
+}
+
+// activate adds the flow to its resources after the connection-setup delay
+// and re-runs the allocator.
+func (f *Flow) activate() {
+	if f.finished {
+		return
+	}
+	n := f.network
+	n.advance()
+	f.active = true
+	f.lastUpdate = n.sched.Now()
+	for _, r := range f.resources {
+		r.flows = insertFlowByID(r.flows, f)
+	}
+	if f.link != nil && !f.background {
+		f.link.senders[f.Src]++
+	}
+	n.reallocate()
+}
+
+// acquireFlow pops a released flow from the pool, or builds a fresh one.
+func (n *Network) acquireFlow() *Flow {
+	if k := len(n.flowFree); k > 0 {
+		f := n.flowFree[k-1]
+		n.flowFree[k-1] = nil
+		n.flowFree = n.flowFree[:k-1]
+		f.released = false
+		f.done, f.rate = 0, 0
+		f.active, f.finished = false, false
+		f.err = nil
+		f.ended = 0
+		f.fixedEpoch = 0
+		f.projEnd = 0
+		return f
+	}
+	return &Flow{}
+}
+
+// ReleaseFlow hands a finished flow back to the network's pool for reuse by a
+// later StartFlow. The caller must be the flow's owner, must call it at most
+// once per flow, and must drop every reference afterwards (including captures
+// in pending callbacks). Releasing an unfinished flow or releasing twice is a
+// no-op, so callers that never release simply leave flows to the garbage
+// collector.
+func (n *Network) ReleaseFlow(f *Flow) {
+	if f == nil || !f.finished || f.released {
+		return
+	}
+	f.released = true
+	f.onDone = nil
+	n.flowFree = append(n.flowFree, f)
 }
 
 // CancelFlow aborts an in-progress flow; its onDone fires with ErrAborted.
@@ -702,7 +767,7 @@ func (n *Network) finishFlow(f *Flow, err error) {
 		n.sched.Cancel(f.activation)
 	}
 	if f.active && f.Src.Site != f.Dst.Site && !f.background {
-		if l := n.links[[2]cloud.SiteID{f.Src.Site, f.Dst.Site}]; l != nil {
+		if l := f.link; l != nil {
 			if l.senders[f.Src] <= 1 {
 				delete(l.senders, f.Src)
 			} else {
@@ -720,9 +785,24 @@ func (n *Network) finishFlow(f *Flow, err error) {
 	f.active = false
 	f.rate = 0
 	n.live = removeFlowByID(n.live, f)
+	// Defer the owner's callback to its own event so it observes a settled
+	// network; the event and its closure live on the Flow and are reused.
 	if f.onDone != nil {
-		cb := f.onDone
-		n.sched.After(0, func() { cb(f) })
+		if f.doneFn == nil {
+			f.doneFn = f.fireDone
+		}
+		if f.doneEv == nil {
+			f.doneEv = n.sched.After(0, f.doneFn)
+		} else {
+			n.sched.Reschedule(f.doneEv, n.sched.Now())
+		}
+	}
+}
+
+// fireDone invokes the owner's completion callback.
+func (f *Flow) fireDone() {
+	if cb := f.onDone; cb != nil {
+		cb(f)
 	}
 }
 

@@ -152,8 +152,12 @@ func (m *Manager) disseminateTree(req DisseminateRequest, onDone func(Disseminat
 	if req.ChunkBytes > 0 {
 		chunkBytes = req.ChunkBytes
 	}
-	chunks := splitChunks(m.nextID, req.Size, chunkBytes)
+	slab := splitChunks(m.nextID, req.Size, chunkBytes, nil)
 	m.nextID++
+	chunks := make([]*chunk, len(slab))
+	for i := range slab {
+		chunks[i] = &slab[i]
+	}
 
 	// Build edges and their workers.
 	edges := make(map[[2]cloud.SiteID]*treeEdge)

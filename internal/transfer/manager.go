@@ -200,15 +200,38 @@ type Manager struct {
 	poolNext map[cloud.SiteID]int
 	nextID   uint64
 
+	// siteList / siteIdx give every site a dense index in lexicographic
+	// SiteID order — the basis for the per-run egress arrays and the flat
+	// link-metrics table. Sites added to the topology after NewManager are
+	// appended past the sorted prefix (they cannot appear in planner paths,
+	// so ordering guarantees are unaffected).
+	siteList []cloud.SiteID
+	siteIdx  map[cloud.SiteID]int
+
+	// nodeList / nodeIdx give every deployed VM a dense index so runs track
+	// node usage in a bitset instead of a per-transfer map.
+	nodeList []*netsim.Node
+	nodeIdx  map[*netsim.Node]int
+
+	// runFree / laneFree are the recycled-run and recycled-lane pools; see
+	// Recycle. Runs and lanes keep their slabs, queues, event objects and
+	// bound callbacks across reuse, so a steady-state transfer allocates
+	// nothing.
+	runFree  []*transferRun
+	laneFree []*lane
+
 	// planner is the persistent incremental route planner. The monitor's
 	// estimate-change hook marks edges dirty; every plan query refreshes
 	// only those edges instead of rebuilding an n² estimate matrix.
 	planner *route.Planner
 
-	// met / lm are the observability families and the per-link handle cache
-	// (zero/nil when the layer is off).
+	// met holds the observability families (zero when the layer is off).
 	met transferMetrics
-	lm  map[[2]cloud.SiteID]*linkMetrics
+	// lmArr is the per-link handle table indexed siteIdx(from)*n+siteIdx(to)
+	// over the NewManager-time site set; lmOver catches late-added sites.
+	lmArr    []*linkMetrics
+	lmStride int
+	lmOver   map[[2]cloud.SiteID]*linkMetrics
 	// pm / lastPlanner export planner behaviour: after each planner call the
 	// manager diffs the cumulative PlannerStats into the obs counters.
 	pm          plannerMetrics
@@ -228,21 +251,44 @@ func NewManager(net *netsim.Network, mon *monitor.Service, opt Options) *Manager
 		pools: make(map[cloud.SiteID][]*netsim.Node),
 
 		poolNext: make(map[cloud.SiteID]int),
+		siteIdx:  make(map[cloud.SiteID]int),
+		nodeIdx:  make(map[*netsim.Node]int),
 		met:      newTransferMetrics(opt.Obs.Registry()),
-		lm:       make(map[[2]cloud.SiteID]*linkMetrics),
 		pm:       newPlannerMetrics(opt.Obs.Registry()),
 	}
-	m.planner = route.NewPlanner(net.Topology().SiteIDs(), m.estimate)
+	ids := net.Topology().SiteIDs() // sorted
+	m.siteList = append(m.siteList, ids...)
+	for i, id := range ids {
+		m.siteIdx[id] = i
+	}
+	m.lmStride = len(ids)
+	m.planner = route.NewPlanner(ids, m.estimate)
 	if mon != nil {
 		mon.OnEstimateChange(m.planner.MarkDirty)
 	}
 	return m
 }
 
+// siteIndex returns the dense index of a site, registering unknown (late
+// added) sites at the end of the list.
+func (m *Manager) siteIndex(s cloud.SiteID) int {
+	if i, ok := m.siteIdx[s]; ok {
+		return i
+	}
+	i := len(m.siteList)
+	m.siteList = append(m.siteList, s)
+	m.siteIdx[s] = i
+	return i
+}
+
 // Deploy provisions count VMs of the class in a site's worker pool.
 func (m *Manager) Deploy(site cloud.SiteID, class cloud.VMClass, count int) []*netsim.Node {
 	nodes := m.net.NewNodes(site, class, count)
 	m.pools[site] = append(m.pools[site], nodes...)
+	for _, nd := range nodes {
+		m.nodeIdx[nd] = len(m.nodeList)
+		m.nodeList = append(m.nodeList, nd)
+	}
 	return nodes
 }
 
@@ -330,7 +376,9 @@ func (m *Manager) record(e trace.Event) {
 	m.opt.Trace.Record(e)
 }
 
-// Handle tracks an in-progress transfer.
+// Handle tracks an in-progress transfer. Handles are owned by their run: the
+// pointer stays valid until the run is handed back via Recycle, after which
+// it must not be used.
 type Handle struct{ run *transferRun }
 
 // Progress returns acknowledged bytes and total bytes.
@@ -359,21 +407,150 @@ func (h *Handle) Ledger() Ledger {
 }
 
 // Abort cancels an in-progress transfer: in-flight flows are killed, queued
-// chunks are dropped, the replan ticker stops and onDone never fires. The
-// handle's Ledger remains readable so the transfer can be resumed later.
-// Aborting a finished transfer is a no-op.
+// chunks are dropped, replanning stops and onDone never fires. The handle's
+// Ledger remains readable so the transfer can be resumed later. Aborting a
+// finished transfer is a no-op.
 func (m *Manager) Abort(h *Handle) {
 	t := h.run
 	if t.finished {
 		return
 	}
 	t.finished = true
-	if t.replanTick != nil {
-		t.replanTick.Stop()
-	}
+	t.stopReplan()
 	for _, l := range t.lanes {
 		l.abort()
 	}
+}
+
+// Recycle hands a completed (finished or aborted) transfer's run — and its
+// chunk slab, lanes, queues and event objects — back to the manager's pool
+// for reuse by a later Transfer call. The caller must drop every reference
+// to the Handle first, exactly like stream.WindowAgg.Recycle; the Ledger
+// snapshot, being a copy, stays valid. Recycling an unfinished transfer is a
+// no-op, as is recycling twice. The run is reclaimed only once its last
+// in-flight flow callback and acknowledgement have drained, so pending
+// simulator events never touch a reused run.
+func (m *Manager) Recycle(h *Handle) {
+	t := h.run
+	if t == nil || !t.finished || t.freed || t.recycleReq {
+		return
+	}
+	t.recycleReq = true
+	t.maybeFree()
+}
+
+// acquireRun returns a pooled run (with its callbacks already bound and its
+// state cleared by freeRun) or a fresh one.
+func (m *Manager) acquireRun() *transferRun {
+	if k := len(m.runFree); k > 0 {
+		t := m.runFree[k-1]
+		m.runFree[k-1] = nil
+		m.runFree = m.runFree[:k-1]
+		t.freed = false
+		return t
+	}
+	t := &transferRun{m: m}
+	t.handle.run = t
+	t.finishFn = t.finish
+	t.replanFn = t.replanFire
+	return t
+}
+
+// freeRun clears a run's per-transfer state and returns it to the pool. The
+// caller guarantees quiescence: no in-flight flows, no pending acks.
+func (m *Manager) freeRun(t *transferRun) {
+	for _, l := range t.lanes {
+		m.releaseLane(l)
+	}
+	for i := range t.lanes {
+		t.lanes[i] = nil
+	}
+	t.lanes = t.lanes[:0]
+	for i := range t.pending {
+		t.pending[i] = nil
+	}
+	t.pending = t.pending[:0]
+	t.pendHead = 0
+	for i := range t.ackedBits {
+		t.ackedBits[i] = 0
+	}
+	for _, idx := range t.nodeTouched {
+		t.nodeBits[idx>>6] &^= 1 << uint(idx&63)
+	}
+	t.nodeTouched = t.nodeTouched[:0]
+	for _, idx := range t.egressTouched {
+		t.egressAmt[idx] = 0
+	}
+	t.egressTouched = t.egressTouched[:0]
+	t.ackedIdx = t.ackedIdx[:0]
+	t.chains = t.chains[:0]
+	t.newLanes = t.newLanes[:0]
+	t.nodeScratch = t.nodeScratch[:0]
+	if t.finishEv != nil {
+		m.sched.Cancel(t.finishEv)
+	}
+	if t.replanEv != nil {
+		m.sched.Cancel(t.replanEv)
+	}
+	t.onDone = nil
+	t.lm = nil
+	t.req = Request{}
+	t.stats = Result{}
+	t.id = 0
+	t.laneSeq = 0
+	t.rr = 0
+	t.chunkBytes = 0
+	t.ackedCount = 0
+	t.ackedBytes = 0
+	t.started = 0
+	t.finished = false
+	t.recycleReq = false
+	t.replanStop = false
+	t.freed = true
+	m.runFree = append(m.runFree, t)
+}
+
+// acquireLane binds a pooled (or fresh) lane to a transfer over the given
+// node chain. Hop states — with their bound flow-completion and watchdog
+// callbacks and their reusable watchdog events — persist across reuse.
+func (m *Manager) acquireLane(t *transferRun, id int, nodes []*netsim.Node) *lane {
+	var l *lane
+	if k := len(m.laneFree); k > 0 {
+		l = m.laneFree[k-1]
+		m.laneFree[k-1] = nil
+		m.laneFree = m.laneFree[:k-1]
+	} else {
+		l = &lane{}
+	}
+	l.id = id
+	l.t = t
+	l.nodes = append(l.nodes[:0], nodes...)
+	l.dead, l.drain = false, false
+	l.ewmaMBs = 0
+	n := len(nodes) - 1
+	for len(l.hops) < n {
+		h := &hopState{l: l, i: len(l.hops)}
+		h.onFlowDone = h.flowDone
+		h.watchdogFn = h.watchdogFire
+		l.hops = append(l.hops, h)
+	}
+	l.nhops = n
+	for i := 0; i < n; i++ {
+		l.hops[i].reset(nodes[i], nodes[i+1], m.siteIndex(nodes[i].Site))
+	}
+	return l
+}
+
+// releaseLane returns an idle lane to the pool. Callers guarantee the lane
+// has no queued chunks and no in-flight flows (so its watchdogs are
+// cancelled and no callbacks are pending).
+func (m *Manager) releaseLane(l *lane) {
+	l.t = nil
+	for i := range l.nodes {
+		l.nodes[i] = nil
+	}
+	l.nodes = l.nodes[:0]
+	m.laneFree = append(m.laneFree, l)
 }
 
 // errNoPool is wrapped by Transfer when a required site has no deployment.
@@ -404,19 +581,30 @@ func (m *Manager) Transfer(req Request, onDone func(Result)) (*Handle, error) {
 	if req.Intr <= 0 {
 		req.Intr = m.opt.DefaultIntr
 	}
-	t := &transferRun{
-		m:      m,
-		req:    req,
-		onDone: onDone,
-		seen:   make(map[uint64]bool),
-		nodes:  make(map[string]*netsim.Node),
-		egress: make(map[cloud.SiteID]int64),
-		lm:     m.link(req.From, req.To),
+	chunkBytes := m.opt.ChunkBytes
+	if req.ChunkBytes > 0 {
+		chunkBytes = req.ChunkBytes
 	}
+	nchunks := int((req.Size + chunkBytes - 1) / chunkBytes)
 	if req.Resume != nil {
 		if req.Resume.From != req.From || req.Resume.To != req.To || req.Resume.Size != req.Size {
 			return nil, errors.New("transfer: resume ledger does not match request")
 		}
+		if req.Resume.ChunkBytes > 0 {
+			chunkBytes = req.Resume.ChunkBytes
+			nchunks = int((req.Size + chunkBytes - 1) / chunkBytes)
+		}
+		for _, i := range req.Resume.Acked {
+			if i < 0 || i >= nchunks {
+				return nil, fmt.Errorf("transfer: resume ledger chunk %d out of range", i)
+			}
+		}
+	}
+	t := m.acquireRun()
+	t.req = req
+	t.onDone = onDone
+	t.lm = m.link(req.From, req.To)
+	if req.Resume != nil {
 		// Reuse the interrupted transfer's identity so re-sent chunks hash
 		// identically: the receiver's dedup makes the overlap idempotent.
 		t.id = req.Resume.TransferID
@@ -424,39 +612,34 @@ func (m *Manager) Transfer(req Request, onDone func(Result)) (*Handle, error) {
 		t.id = m.nextID
 		m.nextID++
 	}
-	chunkBytes := m.opt.ChunkBytes
-	if req.ChunkBytes > 0 {
-		chunkBytes = req.ChunkBytes
-	}
-	if req.Resume != nil && req.Resume.ChunkBytes > 0 {
-		chunkBytes = req.Resume.ChunkBytes
-	}
 	t.chunkBytes = chunkBytes
-	t.pending = splitChunks(t.id, req.Size, chunkBytes)
-	t.stats.Chunks = len(t.pending)
+	t.slab = splitChunks(t.id, req.Size, chunkBytes, t.slab)
+	t.stats.Chunks = len(t.slab)
 	t.stats.Strategy = req.Strategy
 	t.stats.From, t.stats.To = req.From, req.To
+	words := (len(t.slab) + 63) / 64
+	for len(t.ackedBits) < words {
+		t.ackedBits = append(t.ackedBits, 0)
+	}
 	if req.Resume != nil {
-		skip := make(map[int]bool, len(req.Resume.Acked))
 		for _, i := range req.Resume.Acked {
-			if i < 0 || i >= t.stats.Chunks {
-				return nil, fmt.Errorf("transfer: resume ledger chunk %d out of range", i)
-			}
-			skip[i] = true
+			t.ackedBits[i>>6] |= 1 << uint(i&63)
 		}
-		kept := t.pending[:0]
-		for _, c := range t.pending {
-			if !skip[c.index] {
-				kept = append(kept, c)
+		for i := range t.slab {
+			c := &t.slab[i]
+			if t.ackedBits[c.index>>6]&(1<<uint(c.index&63)) != 0 {
+				t.ackedIdx = append(t.ackedIdx, c.index)
+				t.ackedCount++
+				t.ackedBytes += c.size
+				t.stats.SkippedBytes += c.size
 				continue
 			}
-			t.seen[c.hash] = true
-			t.ackedIdx = append(t.ackedIdx, c.index)
-			t.ackedCount++
-			t.ackedBytes += c.size
-			t.stats.SkippedBytes += c.size
+			t.pending = append(t.pending, c)
 		}
-		t.pending = kept
+	} else {
+		for i := range t.slab {
+			t.pending = append(t.pending, &t.slab[i])
+		}
 	}
 	t.started = m.sched.Now()
 	if t.ackedCount == t.stats.Chunks {
@@ -467,10 +650,18 @@ func (m *Manager) Transfer(req Request, onDone func(Result)) (*Handle, error) {
 		if t.lm != nil {
 			t.lm.started.Inc()
 		}
-		m.sched.After(0, t.finish)
-		return &Handle{run: t}, nil
+		if t.finishEv == nil {
+			t.finishEv = m.sched.After(0, t.finishFn)
+		} else {
+			m.sched.Reschedule(t.finishEv, m.sched.Now())
+		}
+		return &t.handle, nil
 	}
 	if err := t.plan(); err != nil {
+		// The failed buildLanes already released its partial lanes; hand the
+		// run back too.
+		t.finished = true
+		m.freeRun(t)
 		return nil, err
 	}
 	m.record(trace.NewTransferStart(m.sched.Now(), string(req.From), string(req.To), req.Size, req.Strategy.String()))
@@ -479,49 +670,110 @@ func (m *Manager) Transfer(req Request, onDone func(Result)) (*Handle, error) {
 		m.opt.Obs.Spans().Route(m.sched.Now(), string(req.From), string(req.To), len(t.lanes), t.id)
 	}
 	if req.Strategy.Dynamic() {
-		t.replanTick = m.sched.NewTicker(m.opt.ReplanInterval, func(simtime.Time) { t.replan() })
+		t.armReplan()
 	}
 	if req.Strategy == ParallelStatic {
 		// Static striping: assign every chunk to a lane up front, exactly
 		// like a statically tuned striped transfer. No reaction to the
 		// environment until a watchdog timeout forces a retransmit.
-		chunks := t.pending
-		t.pending = nil
-		for i, c := range chunks {
+		n := t.pendLen()
+		for i := 0; i < n; i++ {
+			c := t.pendPop()
 			c.attempts++
 			t.lanes[i%len(t.lanes)].accept(c)
 		}
 	} else {
 		t.fill()
 	}
-	return &Handle{run: t}, nil
+	return &t.handle, nil
 }
 
-// transferRun is the per-transfer dispatcher state.
+// transferRun is the per-transfer dispatcher state. Runs are pooled on the
+// Manager: every slice, bitset, scratch buffer, simulator event and bound
+// callback below survives Recycle, so steady-state transfers allocate
+// nothing.
 type transferRun struct {
 	m      *Manager
 	req    Request
 	id     uint64
 	onDone func(Result)
+	handle Handle
 
-	pending    []*chunk
-	lanes      []*lane
-	laneSeq    int
-	rr         int // round-robin cursor for ParallelStatic
+	// slab holds the transfer's chunks contiguously; pending points into it
+	// (pendHead is the consumed prefix, reset when the queue drains).
+	slab     []chunk
+	pending  []*chunk
+	pendHead int
+	lanes    []*lane
+	laneSeq  int
+	rr       int // round-robin cursor for ParallelStatic
 	chunkBytes int64
-	seen       map[uint64]bool
+
+	// ackedBits is the receiver's dedup state, one bit per chunk index
+	// (index and hash are bijective within a transfer).
+	ackedBits  []uint64
 	ackedCount int
 	ackedBytes int64
 	ackedIdx   []int // acknowledged chunk indices, in ack order
-	nodes      map[string]*netsim.Node
-	egress     map[cloud.SiteID]int64
-	stats      Result
-	started    simtime.Time
-	finished   bool
-	replanTick *simtime.Ticker
+
+	// nodeBits/nodeTouched track distinct VMs by manager node index;
+	// egressAmt/egressTouched accumulate WAN bytes by site index.
+	nodeBits      []uint64
+	nodeTouched   []int
+	egressAmt     []int64
+	egressTouched []int
+
+	stats    Result
+	started  simtime.Time
+	finished bool
+
+	// Quiescence + recycling state: the run returns to the pool only when
+	// recycleReq is set and every flow callback and ack event has drained.
+	recycleReq  bool
+	freed       bool
+	activeFlows int
+
+	// outstandingAcks / ackFree manage the pooled ack-delay events.
+	outstandingAcks int
+	ackFree         []*ackEvent
+
+	// finishEv fires the all-skipped resume completion; replanEv drives the
+	// dynamic strategies (both reused via Reschedule).
+	finishFn   func()
+	finishEv   *simtime.Event
+	replanFn   func()
+	replanEv   *simtime.Event
+	replanStop bool
+
 	// lm is the link's cached metric handle set (nil when observability is
 	// off); spans also key off it so the hot paths test one pointer.
 	lm *linkMetrics
+
+	// buildLanes scratch, reused across replans.
+	chains      [][]cloud.SiteID
+	directChain [2]cloud.SiteID
+	newLanes    []*lane
+	nodeScratch []*netsim.Node
+}
+
+// pendLen returns the number of chunks awaiting dispatch.
+func (t *transferRun) pendLen() int { return len(t.pending) - t.pendHead }
+
+// pendPop removes and returns the oldest pending chunk.
+func (t *transferRun) pendPop() *chunk {
+	c := t.pending[t.pendHead]
+	t.pending[t.pendHead] = nil
+	t.pendHead++
+	if t.pendHead == len(t.pending) {
+		t.pending = t.pending[:0]
+		t.pendHead = 0
+	}
+	return c
+}
+
+// ackedBit reports whether a chunk index has been acknowledged.
+func (t *transferRun) ackedBit(idx int) bool {
+	return t.ackedBits[idx>>6]&(1<<uint(idx&63)) != 0
 }
 
 // plan builds the initial lane set for the request's strategy.
@@ -530,24 +782,30 @@ func (t *transferRun) plan() error {
 	if err != nil {
 		return err
 	}
-	t.lanes = lanes
+	t.lanes = append(t.lanes[:0], lanes...)
 	return nil
 }
 
 // buildLanes constructs lanes according to the strategy from fresh
-// estimates.
+// estimates. The returned slice is the run's scratch: callers copy it into
+// t.lanes before the next build. On error, partially built lanes return to
+// the pool (node-usage notes from them persist, matching the historical
+// accounting).
 func (t *transferRun) buildLanes() ([]*lane, error) {
-	var chains [][]cloud.SiteID
+	chains := t.chains[:0]
 	switch t.req.Strategy {
 	case Direct:
-		chains = [][]cloud.SiteID{{t.req.From, t.req.To}}
+		t.directChain[0], t.directChain[1] = t.req.From, t.req.To
+		chains = append(chains, t.directChain[:])
 	case ParallelStatic, EnvAware:
+		t.directChain[0], t.directChain[1] = t.req.From, t.req.To
 		for i := 0; i < t.req.Lanes; i++ {
-			chains = append(chains, []cloud.SiteID{t.req.From, t.req.To})
+			chains = append(chains, t.directChain[:])
 		}
 	case WidestStatic, WidestDynamic:
 		p, ok := t.m.widestPath(t.req.From, t.req.To)
 		if !ok {
+			t.chains = chains
 			return nil, fmt.Errorf("transfer: no path %s -> %s", t.req.From, t.req.To)
 		}
 		for i := 0; i < t.req.Lanes; i++ {
@@ -557,6 +815,7 @@ func (t *transferRun) buildLanes() ([]*lane, error) {
 		alloc, ok := t.m.planMultipath(t.req.From, t.req.To,
 			t.req.NodeBudget, t.planParams(), t.req.MaxPaths)
 		if !ok {
+			t.chains = chains
 			return nil, fmt.Errorf("transfer: multipath planning failed %s -> %s", t.req.From, t.req.To)
 		}
 		for _, pa := range alloc.Paths {
@@ -567,24 +826,52 @@ func (t *transferRun) buildLanes() ([]*lane, error) {
 	default:
 		return nil, fmt.Errorf("transfer: unknown strategy %v", t.req.Strategy)
 	}
-	var lanes []*lane
+	t.chains = chains
+	lanes := t.newLanes[:0]
+	nodes := t.nodeScratch[:0]
 	for _, chain := range chains {
-		nodes := make([]*netsim.Node, 0, len(chain))
+		nodes = nodes[:0]
 		for _, site := range chain {
 			nd, err := t.m.take(site)
 			if err != nil {
+				for _, l := range lanes {
+					t.m.releaseLane(l)
+				}
+				t.newLanes = lanes[:0]
+				t.nodeScratch = nodes[:0]
 				return nil, fmt.Errorf("%w: %v", errNoPool, err)
 			}
 			nodes = append(nodes, nd)
 		}
-		l := newLane(t.laneSeq, nodes, t)
+		l := t.m.acquireLane(t, t.laneSeq, nodes)
 		t.laneSeq++
 		lanes = append(lanes, l)
 		for _, nd := range nodes {
-			t.nodes[nd.ID] = nd
+			t.noteNode(nd)
 		}
 	}
+	t.newLanes = lanes
+	t.nodeScratch = nodes
 	return lanes, nil
+}
+
+// noteNode marks a VM as engaged by the transfer (for NodesUsed and VM-time
+// cost), deduplicating via the manager-indexed bitset.
+func (t *transferRun) noteNode(nd *netsim.Node) {
+	idx, ok := t.m.nodeIdx[nd]
+	if !ok {
+		// Not pool-deployed (cannot happen via take, but stay safe).
+		idx = len(t.m.nodeList)
+		t.m.nodeIdx[nd] = idx
+		t.m.nodeList = append(t.m.nodeList, nd)
+	}
+	for idx>>6 >= len(t.nodeBits) {
+		t.nodeBits = append(t.nodeBits, 0)
+	}
+	if t.nodeBits[idx>>6]&(1<<uint(idx&63)) == 0 {
+		t.nodeBits[idx>>6] |= 1 << uint(idx&63)
+		t.nodeTouched = append(t.nodeTouched, idx)
+	}
 }
 
 // planParams adapts the manager's model parameters to the request.
@@ -607,18 +894,30 @@ func (t *transferRun) timeoutFor(c *chunk) time.Duration {
 	return d
 }
 
+// liveLanes counts lanes still accepting work — the denominator for the
+// MaxMBps QoS split. Dead and draining lanes take no new chunks, so they
+// must not dilute the cap.
+func (t *transferRun) liveLanes() int {
+	n := 0
+	for _, l := range t.lanes {
+		if !l.dead && !l.drain {
+			n++
+		}
+	}
+	return n
+}
+
 // fill hands pending chunks to free lanes according to the strategy.
 func (t *transferRun) fill() {
 	if t.finished {
 		return
 	}
-	for len(t.pending) > 0 {
+	for t.pendLen() > 0 {
 		l := t.pickLane()
 		if l == nil {
 			return
 		}
-		c := t.pending[0]
-		t.pending = t.pending[1:]
+		c := t.pendPop()
 		if c.attempts > 0 {
 			t.stats.Retransmits++
 			t.m.record(trace.NewRetransmit(t.m.sched.Now(), string(t.req.From), string(t.req.To), c.size, c.attempts))
@@ -631,9 +930,16 @@ func (t *transferRun) fill() {
 	}
 }
 
-// recordEgress charges one chunk's WAN hop to the source site.
-func (t *transferRun) recordEgress(site cloud.SiteID, bytes int64) {
-	t.egress[site] += bytes
+// recordEgress charges one chunk's WAN hop to the source site (by dense site
+// index). Chunk sizes are positive, so a zero amount means first touch.
+func (t *transferRun) recordEgress(siteIdx int, bytes int64) {
+	for siteIdx >= len(t.egressAmt) {
+		t.egressAmt = append(t.egressAmt, 0)
+	}
+	if t.egressAmt[siteIdx] == 0 {
+		t.egressTouched = append(t.egressTouched, siteIdx)
+	}
+	t.egressAmt[siteIdx] += bytes
 }
 
 // pickLane selects a free lane per the strategy, or nil when none.
@@ -696,7 +1002,7 @@ func (t *transferRun) pickLane() *lane {
 // the lane set first when every existing lane is dead or unhealthy — the
 // self-healing path for transfers that lost all their workers.
 func (t *transferRun) requeue(c *chunk, from *lane) {
-	if t.finished || t.seen[c.hash] {
+	if t.finished || t.ackedBit(c.index) {
 		return
 	}
 	t.pending = append(t.pending, c)
@@ -727,14 +1033,41 @@ func (t *transferRun) requeue(c *chunk, from *lane) {
 				if t.lm != nil {
 					t.lm.replans.Inc()
 				}
+			} else {
+				for _, l := range lanes {
+					l.dead = true // unusable build: all nodes down
+					t.m.releaseLane(l)
+				}
+				t.newLanes = t.newLanes[:0]
 			}
 		}
 	}
 	t.fill()
 }
 
+// scheduleAck arms a pooled acknowledgement event for the chunk after the
+// given delay (half an RTT back to the coordinator).
+func (t *transferRun) scheduleAck(c *chunk, d time.Duration) {
+	var ae *ackEvent
+	if k := len(t.ackFree); k > 0 {
+		ae = t.ackFree[k-1]
+		t.ackFree[k-1] = nil
+		t.ackFree = t.ackFree[:k-1]
+	} else {
+		ae = &ackEvent{t: t}
+		ae.fn = ae.fire
+	}
+	ae.c = c
+	t.outstandingAcks++
+	if ae.ev == nil {
+		ae.ev = t.m.sched.After(d, ae.fn)
+	} else {
+		t.m.sched.Reschedule(ae.ev, t.m.sched.Now()+d)
+	}
+}
+
 // acked records a chunk acknowledgement at the coordinator, deduplicating on
-// content hash.
+// content (chunk index and hash are bijective within the transfer).
 func (t *transferRun) acked(c *chunk) {
 	if t.finished {
 		return
@@ -743,11 +1076,11 @@ func (t *transferRun) acked(c *chunk) {
 	if t.lm != nil {
 		t.lm.acks.Inc()
 	}
-	if t.seen[c.hash] {
+	if t.ackedBit(c.index) {
 		t.stats.Duplicates++
 		return
 	}
-	t.seen[c.hash] = true
+	t.ackedBits[c.index>>6] |= 1 << uint(c.index&63)
 	if t.lm != nil {
 		t.m.opt.Obs.Spans().Chunk(t.m.sched.Now(), string(t.req.From), string(t.req.To), c.size, t.id)
 	}
@@ -759,8 +1092,54 @@ func (t *transferRun) acked(c *chunk) {
 	}
 }
 
+// flowRetired marks one in-flight flow callback as drained.
+func (t *transferRun) flowRetired() {
+	t.activeFlows--
+	t.maybeFree()
+}
+
+// maybeFree recycles the run once requested and quiescent.
+func (t *transferRun) maybeFree() {
+	if !t.recycleReq || t.freed || !t.finished || t.activeFlows != 0 || t.outstandingAcks != 0 {
+		return
+	}
+	t.m.freeRun(t)
+}
+
+// armReplan schedules the first periodic replan, reusing the run's event.
+// The arm/refire/stop protocol mirrors simtime.Ticker exactly.
+func (t *transferRun) armReplan() {
+	t.replanStop = false
+	d := t.m.opt.ReplanInterval
+	if t.replanEv == nil {
+		t.replanEv = t.m.sched.After(d, t.replanFn)
+	} else {
+		t.m.sched.Reschedule(t.replanEv, t.m.sched.Now()+d)
+	}
+}
+
+// replanFire is the periodic replan callback.
+func (t *transferRun) replanFire() {
+	if t.replanStop {
+		return
+	}
+	t.replan()
+	if !t.replanStop {
+		t.m.sched.Reschedule(t.replanEv, t.m.sched.Now()+t.m.opt.ReplanInterval)
+	}
+}
+
+// stopReplan prevents further periodic replans.
+func (t *transferRun) stopReplan() {
+	t.replanStop = true
+	if t.replanEv != nil {
+		t.m.sched.Cancel(t.replanEv)
+	}
+}
+
 // replan rebuilds lanes from fresh estimates for dynamic strategies. Old
-// lanes drain: they finish in-flight chunks but accept no new ones.
+// lanes drain: they finish in-flight chunks but accept no new ones; lanes
+// already idle return to the pool.
 func (t *transferRun) replan() {
 	if t.finished {
 		return
@@ -781,6 +1160,8 @@ func (t *transferRun) replan() {
 		l.drain = true
 		if l.busy() {
 			kept = append(kept, l)
+		} else {
+			t.m.releaseLane(l)
 		}
 	}
 	t.lanes = append(kept, lanes...)
@@ -796,9 +1177,7 @@ func (t *transferRun) finish() {
 		return
 	}
 	t.finished = true
-	if t.replanTick != nil {
-		t.replanTick.Stop()
-	}
+	t.stopReplan()
 	for _, l := range t.lanes {
 		l.abort()
 	}
@@ -808,28 +1187,33 @@ func (t *transferRun) finish() {
 	if s := dur.Seconds(); s > 0 {
 		t.stats.MBps = float64(t.ackedBytes) / 1e6 / s
 	}
-	t.stats.NodesUsed = len(t.nodes)
+	t.stats.NodesUsed = len(t.nodeTouched)
 	// Cost: leased VM time at the request's intrusiveness for every node
-	// engaged, plus egress for every WAN hop crossed. Keys are sorted so
-	// float accumulation is deterministic.
+	// engaged, plus egress for every WAN hop crossed. Accumulation order is
+	// sorted — node indices by VM ID, egress by site ID (== ascending site
+	// index) — so float summation is deterministic and matches the map-era
+	// sort.Strings ordering. Insertion sort: the sets are tiny and nearly
+	// sorted, and sort.Slice would allocate its closure.
 	cost := 0.0
-	nodeIDs := make([]string, 0, len(t.nodes))
-	for id := range t.nodes {
-		nodeIDs = append(nodeIDs, id)
+	ids := t.nodeTouched
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && t.m.nodeList[ids[j]].ID < t.m.nodeList[ids[j-1]].ID; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
 	}
-	sort.Strings(nodeIDs)
-	for _, id := range nodeIDs {
-		cost += t.nodes[id].Class.PricePerHour * dur.Hours() * t.req.Intr
+	for _, idx := range ids {
+		cost += t.m.nodeList[idx].Class.PricePerHour * dur.Hours() * t.req.Intr
+	}
+	eg := t.egressTouched
+	for i := 1; i < len(eg); i++ {
+		for j := i; j > 0 && eg[j] < eg[j-1]; j-- {
+			eg[j], eg[j-1] = eg[j-1], eg[j]
+		}
 	}
 	topo := t.m.net.Topology()
-	sites := make([]string, 0, len(t.egress))
-	for site := range t.egress {
-		sites = append(sites, string(site))
-	}
-	sort.Strings(sites)
-	for _, site := range sites {
-		if s := topo.Site(cloud.SiteID(site)); s != nil {
-			cost += cloud.EgressCost(s, t.egress[cloud.SiteID(site)])
+	for _, idx := range eg {
+		if s := topo.Site(t.m.siteList[idx]); s != nil {
+			cost += cloud.EgressCost(s, t.egressAmt[idx])
 		}
 	}
 	t.stats.Cost = cost

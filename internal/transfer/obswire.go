@@ -82,16 +82,42 @@ type linkMetrics struct {
 
 // link returns the cached handle set for a directed link, nil when
 // observability is off — callers nil-check once per transfer, not per chunk.
+// Handles live in a flat site-index table (lazily sized n²) so the lookup is
+// two map-free loads; sites registered after NewManager fall back to the
+// overflow map.
 func (m *Manager) link(from, to cloud.SiteID) *linkMetrics {
 	if m.opt.Obs == nil {
 		return nil
 	}
-	key := [2]cloud.SiteID{from, to}
-	if lm, ok := m.lm[key]; ok {
+	fi, fok := m.siteIdx[from]
+	ti, tok := m.siteIdx[to]
+	if fok && tok && fi < m.lmStride && ti < m.lmStride {
+		if m.lmArr == nil {
+			m.lmArr = make([]*linkMetrics, m.lmStride*m.lmStride)
+		}
+		if lm := m.lmArr[fi*m.lmStride+ti]; lm != nil {
+			return lm
+		}
+		lm := m.newLinkMetrics(from, to)
+		m.lmArr[fi*m.lmStride+ti] = lm
 		return lm
 	}
+	key := [2]cloud.SiteID{from, to}
+	if lm, ok := m.lmOver[key]; ok {
+		return lm
+	}
+	if m.lmOver == nil {
+		m.lmOver = make(map[[2]cloud.SiteID]*linkMetrics)
+	}
+	lm := m.newLinkMetrics(from, to)
+	m.lmOver[key] = lm
+	return lm
+}
+
+// newLinkMetrics resolves the six per-link handles once.
+func (m *Manager) newLinkMetrics(from, to cloud.SiteID) *linkMetrics {
 	f, t := string(from), string(to)
-	lm := &linkMetrics{
+	return &linkMetrics{
 		started:     m.met.started.With(f, t),
 		bytes:       m.met.bytes.With(f, t),
 		acks:        m.met.acks.With(f, t),
@@ -99,6 +125,4 @@ func (m *Manager) link(from, to cloud.SiteID) *linkMetrics {
 		replans:     m.met.replans.With(f, t),
 		seconds:     m.met.seconds.With(f, t),
 	}
-	m.lm[key] = lm
-	return lm
 }

@@ -69,7 +69,7 @@ func (r *rig) run(t *testing.T, req Request, horizon time.Duration) Result {
 }
 
 func TestSplitChunks(t *testing.T) {
-	cs := splitChunks(1, 100, 30)
+	cs := splitChunks(1, 100, 30, nil)
 	if len(cs) != 4 {
 		t.Fatalf("chunks = %d, want 4", len(cs))
 	}
@@ -99,7 +99,7 @@ func TestSplitChunksInvalidPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	splitChunks(1, 100, 0)
+	splitChunks(1, 100, 0, nil)
 }
 
 func TestChunkHashStableAndDistinct(t *testing.T) {
