@@ -65,3 +65,4 @@ func BenchmarkExp17DeadlineCalib(b *testing.B)  { runExp(b, 17) }
 func BenchmarkExp18Worldwide(b *testing.B)      { runExp(b, 18) }
 func BenchmarkExp19Recovery(b *testing.B)       { runExp(b, 19) }
 func BenchmarkExp20Scale(b *testing.B)          { runExp(b, 20) }
+func BenchmarkExp21Sched(b *testing.B)          { runExp(b, 21) }

@@ -13,7 +13,7 @@
 //	sagebench -exp 3
 //	sagebench -quick -seed 7
 //	sagebench -exp 9 -csv > f9.csv
-//	sagebench -perf                       # rewrites BENCH_netsim.json + BENCH_stream.json + BENCH_obs.json + BENCH_scale.json + BENCH_route.json + BENCH_transfer.json
+//	sagebench -perf                       # rewrites every BENCH_*.json baseline (netsim, stream, obs, scale, route, transfer, sched)
 //	sagebench -exp 20 -shards 4           # scale experiment on a 4-shard core
 //	sagebench -quick -cpuprofile cpu.out  # profile the whole quick suite
 package main
@@ -43,6 +43,7 @@ func main() {
 		perfScaleOut    = flag.String("perf-scale-out", "BENCH_scale.json", "output path for the shard-scaling -perf baseline")
 		perfRouteOut    = flag.String("perf-route-out", "BENCH_route.json", "output path for the route-planner -perf baseline")
 		perfTransferOut = flag.String("perf-transfer-out", "BENCH_transfer.json", "output path for the transfer-executor -perf baseline")
+		perfSchedOut    = flag.String("perf-sched-out", "BENCH_sched.json", "output path for the multi-job scheduler -perf baseline")
 		shards          = flag.Int("shards", 0, "event-core shards for every experiment (0 = 1 or $SAGE_SHARDS; results are byte-identical for any count)")
 		worldSites      = flag.Int("world-sites", 0, "override the generated-world site count of the scale experiment")
 		worldRegions    = flag.Int("world-regions", 0, "override the generated-world region count of the scale experiment")
@@ -183,6 +184,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "alloc reduction vs pre-rewrite executor at 10k chunks: %.0fx (speedup %.1fx)\n",
 			tr.AllocReduction10k, tr.Speedup10k)
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *perfTransferOut)
+
+		fmt.Fprintln(os.Stderr, "measuring multi-job scheduler baseline (dispatch + contention run)...")
+		sc2 := bench.RunSchedPerfBaseline()
+		if err := os.WriteFile(*perfSchedOut, sc2.JSON(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sagebench: %v\n", err)
+			os.Exit(1)
+		}
+		for key, r := range sc2.Benchmarks {
+			fmt.Fprintf(os.Stderr, "%-32s %12.0f ns/op %6d allocs/op\n", key, r.NsPerOp, r.AllocsPerOp)
+		}
+		fmt.Fprintf(os.Stderr, "contention run: %d jobs, %d events, %.0f events/sec/core\n",
+			sc2.ContentionJobs, sc2.Events, sc2.EventsPerSecCore)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *perfSchedOut)
 		return
 	}
 

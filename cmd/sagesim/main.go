@@ -14,6 +14,13 @@
 //
 //	sagesim -world-sites 200 -world-regions 8 -shards 4 -rate 100 -minutes 5
 //
+// -jobs-file runs a multi-job roster under the admission scheduler: the JSON
+// scenario carries a "jobs" array (name, tenant, priority, arrival plus the
+// usual job fields) and an optional "scheduler" block (max_concurrent,
+// policy fifo|fair|sjf, preempt):
+//
+//	sagesim -jobs-file examples/multijob/jobs.json
+//
 // -cpuprofile/-memprofile capture pprof profiles of the run, mirroring the
 // same flags on sagebench.
 package main
@@ -49,6 +56,7 @@ var strategies = map[string]transfer.Strategy{
 func main() {
 	var (
 		scenarioPath = flag.String("scenario", "", "run a JSON scenario file instead of flag-built job")
+		jobsFile     = flag.String("jobs-file", "", "run a multi-job JSON scenario (a scenario file with a jobs roster) under the admission scheduler")
 
 		sources   = flag.String("sources", "NEU,WEU,SUS", "comma-separated source sites")
 		sink      = flag.String("sink", "NUS", "sink (meta-reducer) site")
@@ -104,8 +112,12 @@ func main() {
 		}
 	}()
 
+	if *jobsFile != "" {
+		runScenario(*jobsFile, true)
+		return
+	}
 	if *scenarioPath != "" {
-		runScenario(*scenarioPath)
+		runScenario(*scenarioPath, false)
 		return
 	}
 
@@ -209,8 +221,9 @@ func main() {
 	}
 }
 
-// runScenario executes a declarative JSON scenario file.
-func runScenario(path string) {
+// runScenario executes a declarative JSON scenario file. With requireJobs
+// (the -jobs-file path) the file must carry a multi-job roster.
+func runScenario(path string, requireJobs bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sagesim: %v\n", err)
@@ -220,6 +233,10 @@ func runScenario(path string) {
 	sc, err := scenario.Load(f)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sagesim: %v\n", err)
+		os.Exit(1)
+	}
+	if requireJobs && len(sc.Jobs) == 0 {
+		fmt.Fprintf(os.Stderr, "sagesim: -jobs-file %s has no jobs roster\n", path)
 		os.Exit(1)
 	}
 	res, err := sc.Run()
@@ -250,6 +267,21 @@ func runScenario(path string) {
 		tb.Add("makespan", stats.FmtDur(res.Gather.Makespan))
 		tb.Add("bytes", stats.FmtBytes(res.Gather.TotalBytes))
 		tb.Add("cost", stats.FmtMoney(res.Gather.TotalCost))
+		fmt.Println(tb.String())
+	case res.Multi != nil:
+		m := res.Multi
+		fmt.Println(m.Table(fmt.Sprintf("multi-job report: %d jobs, policy %s, %d slots",
+			len(m.Jobs), m.Policy, m.MaxConcurrent)).String())
+		tb := stats.NewTable("roster summary", "metric", "value")
+		tb.Add("makespan", fmt.Sprintf("%.1fs", m.Makespan.Seconds()))
+		tb.Add("completion p50", fmt.Sprintf("%.1fs", m.Completion.P50))
+		tb.Add("completion p95", fmt.Sprintf("%.1fs", m.Completion.P95))
+		tb.Add("events processed", fmt.Sprintf("%d", m.TotalEvents))
+		tb.Add("bytes moved over WAN", stats.FmtBytes(m.TotalBytes))
+		tb.Add("money spent", stats.FmtMoney(m.TotalCost))
+		tb.Add("egress spend", stats.FmtMoney(m.TotalEgress))
+		tb.Add("VM-seconds", fmt.Sprintf("%.0f", m.TotalVMSeconds))
+		tb.Add("report fingerprint", fmt.Sprintf("%016x", m.Fingerprint()))
 		fmt.Println(tb.String())
 	}
 }

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/core"
+	"sage/internal/model"
+	"sage/internal/monitor"
+	"sage/internal/netsim"
+	"sage/internal/sched"
+	"sage/internal/stats"
+	"sage/internal/stream"
+	"sage/internal/transfer"
+	"sage/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID: 21, Name: "sched", Figure: "E7",
+		Desc: "Multi-job scheduler: completion time and egress cost vs concurrency under FIFO, fair-share and SJF",
+		Run:  expSched,
+	})
+}
+
+// schedShape returns the contention experiment's parameters. The world stays
+// at 60 sites / 6 regions in both modes (the contention structure needs the
+// regional spoke links); quick mode shortens windows and job lengths.
+func schedShape(cfg Config) (sites, regions int, window time.Duration, longWin, shortWin int, stagger time.Duration) {
+	sites, regions = 60, 6
+	window, longWin, shortWin, stagger = 30*time.Second, 8, 3, 10*time.Second
+	if cfg.Quick {
+		window, longWin, shortWin, stagger = 15*time.Second, 8, 3, 5*time.Second
+	}
+	return
+}
+
+// schedEventBytes / schedUtil size each source against its own spoke→hub
+// link: rate is chosen so one job alone drives its links at ~60% capacity,
+// so two co-scheduled jobs of the same tenant (same spokes, same links)
+// overload them and queue window backlogs — the contention the policies
+// differ on.
+const (
+	schedEventBytes = 50000
+	schedUtil       = 0.8
+)
+
+// schedRoster builds the 8-job roster: four tenants × two jobs each, jobs of
+// one tenant sharing the same two source spokes (adversarial for FIFO, which
+// co-schedules them back to back). Tenants A and B run long jobs, C and D
+// short ones, so SJF has real length diversity to order by. Arrivals are
+// staggered one job per `stagger`.
+func schedRoster(cfg Config, world *cloud.Topology) []sched.JobSpec {
+	_, regions, window, longWin, shortWin, stagger := schedShape(cfg)
+	sink := cloud.GeneratedHub(0)
+	roster := make([]sched.JobSpec, 0, 8)
+	for j := 0; j < 8; j++ {
+		tenant := j / 2
+		name := fmt.Sprintf("%c%d", 'A'+tenant, j%2)
+		// Tenant t's spokes live in region t+1: the first two non-hub sites
+		// assigned to it (site indices r+regions and r+2·regions).
+		region := tenant + 1
+		spokes := []cloud.SiteID{
+			cloud.GeneratedSiteID(region + regions),
+			cloud.GeneratedSiteID(region + 2*regions),
+		}
+		js := core.JobSpec{
+			Sink:     sink,
+			Window:   window,
+			Agg:      stream.Sum,
+			Strategy: transfer.Direct,
+			Lanes:    2,
+			Intr:     0.5,
+			ShipRaw:  true,
+		}
+		for _, sp := range spokes {
+			link := world.Link(sp, sink)
+			rate := schedUtil * link.BaseMBps * 1e6 / schedEventBytes
+			js.Sources = append(js.Sources, core.SourceSpec{
+				Site: sp, Rate: workload.ConstantRate(rate), EventBytes: schedEventBytes,
+			})
+		}
+		windows := longWin
+		if tenant%2 == 1 {
+			windows = shortWin
+		}
+		roster = append(roster, sched.JobSpec{
+			Name:     name,
+			Tenant:   string(rune('A' + tenant)),
+			Arrival:  time.Duration(j) * stagger,
+			Duration: time.Duration(windows) * window,
+			Spec:     js,
+		})
+	}
+	return roster
+}
+
+// runSchedLevel runs the first n roster jobs under one policy on a fresh
+// engine and returns the multi-job report plus the conservation check
+// (per-job attributed egress bytes vs per-site world totals).
+func runSchedLevel(cfg Config, policy sched.Policy, n int) (*sched.MultiReport, bool) {
+	sites, regions, _, _, _, _ := schedShape(cfg)
+	world := cloud.GenerateWorld(sites, regions, cfg.Seed)
+	e := core.NewEngine(core.WithOptions(core.Options{
+		Seed:     cfg.Seed,
+		Topology: world,
+		Net:      netsim.Options{GlitchMeanGap: -1, ProbeNoise: 1e-9},
+		Monitor:  monitor.Options{Interval: 30 * time.Second},
+		Params:   model.Default(),
+		Shards:   cfg.Shards,
+	}), core.WithObservability(observer()))
+	e.DeployEverywhere(cloud.Medium, 4)
+	e.Sched.RunFor(time.Minute)
+
+	s := sched.New(e, sched.Options{MaxConcurrent: 2, Policy: policy})
+	for _, j := range schedRoster(cfg, world)[:n] {
+		if err := s.Submit(j); err != nil {
+			panic(fmt.Sprintf("sched experiment: %v", err))
+		}
+	}
+	m, err := s.Run()
+	if err != nil {
+		panic(fmt.Sprintf("sched experiment: %v", err))
+	}
+
+	var perJob, perSite int64
+	for i := 0; i < e.Net.JobsSeen(); i++ {
+		perJob += e.Net.JobEgressBytes(i)
+	}
+	for _, id := range world.SiteIDs() {
+		perSite += e.Net.EgressBytes(id)
+	}
+	return m, perJob == perSite && perJob > 0
+}
+
+// expSched is E7: N concurrent geo-streaming jobs contending for shared
+// links and VM slots on a generated 60-site world, swept over admission
+// policies × offered concurrency. Same-tenant jobs share source spokes, so
+// admission order decides whether co-running jobs overload their links; the
+// completion-time percentiles make the policy differences visible. The
+// conservation column cross-checks cross-job flow attribution: per-job
+// netsim egress sums must equal the per-site world totals byte-exactly.
+func expSched(cfg Config) []*stats.Table {
+	cfg = cfg.withDefaults()
+	sites, regions, window, longWin, shortWin, _ := schedShape(cfg)
+	levels := []int{2, 4, 8}
+	policies := sched.PolicyNames()
+
+	type cell struct {
+		m        *sched.MultiReport
+		conserve bool
+	}
+	results := make([]cell, len(policies)*len(levels))
+	parMap(len(results), func(i int) {
+		pol, _ := sched.ByName(policies[i/len(levels)])
+		m, ok := runSchedLevel(cfg, pol, levels[i%len(levels)])
+		results[i] = cell{m: m, conserve: ok}
+	})
+
+	tb := stats.NewTable(
+		fmt.Sprintf("E7: multi-job contention, %d-site world (%d regions), window %s, jobs %dw/%dw, 2 slots",
+			sites, regions, window, longWin, shortWin),
+		"policy", "jobs", "makespan", "mean compl", "p50 compl", "p95 compl",
+		"egress $", "total $", "VM-s", "attribution", "fingerprint")
+	for pi, pname := range policies {
+		for li, lvl := range levels {
+			c := results[pi*len(levels)+li]
+			verdict := "exact"
+			if !c.conserve {
+				verdict = "BROKEN"
+			}
+			tb.Add(pname, fmt.Sprint(lvl),
+				fmtSec(c.m.Makespan),
+				fmtSecF(c.m.Completion.Mean), fmtSecF(c.m.Completion.P50), fmtSecF(c.m.Completion.P95),
+				stats.FmtMoney(c.m.TotalEgress), stats.FmtMoney(c.m.TotalCost),
+				fmt.Sprintf("%.0f", c.m.TotalVMSeconds),
+				verdict, fmt.Sprintf("%016x", c.m.Fingerprint()))
+		}
+	}
+
+	// Head-to-head at full concurrency: the paper-level claim is that
+	// fair-share interleaves tenants and beats FIFO's tenant-clustered
+	// admission on tail completion time.
+	idx := func(policy string) *sched.MultiReport {
+		for pi, p := range policies {
+			if p == policy {
+				return results[pi*len(levels)+len(levels)-1].m
+			}
+		}
+		return nil
+	}
+	fifo, fair, sjf := idx("fifo"), idx("fair"), idx("sjf")
+	vs := stats.NewTable("E7: policy head-to-head at 8 jobs",
+		"metric", "fifo", "fair", "sjf", "fair vs fifo")
+	vs.Add("p95 completion", fmtSecF(fifo.Completion.P95), fmtSecF(fair.Completion.P95),
+		fmtSecF(sjf.Completion.P95), pct(fair.Completion.P95/fifo.Completion.P95-1))
+	vs.Add("mean completion", fmtSecF(fifo.Completion.Mean), fmtSecF(fair.Completion.Mean),
+		fmtSecF(sjf.Completion.Mean), pct(fair.Completion.Mean/fifo.Completion.Mean-1))
+	vs.Add("makespan", fmtSec(fifo.Makespan), fmtSec(fair.Makespan),
+		fmtSec(sjf.Makespan), pct(float64(fair.Makespan)/float64(fifo.Makespan)-1))
+	vs.Add("egress $", stats.FmtMoney(fifo.TotalEgress), stats.FmtMoney(fair.TotalEgress),
+		stats.FmtMoney(sjf.TotalEgress), pct(fair.TotalEgress/fifo.TotalEgress-1))
+
+	// Per-job rows at 8 jobs under fair-share: the queue-wait / completion
+	// split per tenant.
+	detail := fair.Table("E7: per-job detail, fair-share at 8 jobs")
+
+	return []*stats.Table{tb, vs, detail}
+}
+
+// fmtSec renders a duration as whole seconds for table stability.
+func fmtSec(d time.Duration) string { return fmt.Sprintf("%.1fs", d.Seconds()) }
+
+// fmtSecF renders a seconds quantity from a stats summary.
+func fmtSecF(s float64) string { return fmt.Sprintf("%.1fs", s) }

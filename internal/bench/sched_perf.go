@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+
+	"sage/internal/sched"
+)
+
+// schedPerfJobs is the concurrency the dispatch benchmark runs at.
+const schedPerfJobs = 16
+
+// SchedBaseline is the machine-readable multi-job scheduler performance
+// snapshot written to BENCH_sched.json by `sagebench -perf`. It records the
+// steady-state dispatch micro-benchmark (budget: zero allocations per Step
+// with a full slot table) and one timed quick-mode contention run for the
+// simulator's event throughput under multi-job load.
+type SchedBaseline struct {
+	GoVersion  string                `json:"go_version"`
+	GOARCH     string                `json:"goarch"`
+	Cores      int                   `json:"cores"`
+	GOMAXPROCS int                   `json:"gomaxprocs"`
+	Benchmarks map[string]PerfResult `json:"benchmarks"`
+	// The timed contention run: the quick-mode E7 roster at 8 jobs, FIFO.
+	ContentionJobs   int     `json:"contention_jobs"`
+	ContentionPolicy string  `json:"contention_policy"`
+	WallMillis       float64 `json:"contention_wall_ms"`
+	Events           int64   `json:"contention_events"`
+	// EventsPerSecCore is simulated events processed per wall-clock second
+	// per core during the contention run — machine-dependent, recorded for
+	// context.
+	EventsPerSecCore float64 `json:"events_per_sec_per_core"`
+}
+
+// RunSchedPerfBaseline measures the scheduler benchmarks and returns the
+// snapshot written to BENCH_sched.json.
+func RunSchedPerfBaseline() SchedBaseline {
+	p := SchedBaseline{
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		Cores:      runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: make(map[string]PerfResult),
+	}
+	r := testing.Benchmark(func(b *testing.B) { sched.RunBenchmarkDispatch(b, schedPerfJobs) })
+	p.Benchmarks[sched.DispatchBenchName(schedPerfJobs)] = PerfResult{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+
+	cfg := Config{Seed: 1, Quick: true}.withDefaults()
+	p.ContentionJobs, p.ContentionPolicy = 8, "fifo"
+	start := time.Now()
+	m, _ := runSchedLevel(cfg, sched.FIFO{}, p.ContentionJobs)
+	wall := time.Since(start)
+	p.WallMillis = float64(wall.Microseconds()) / 1e3
+	p.Events = m.TotalEvents
+	if secs := wall.Seconds(); secs > 0 {
+		p.EventsPerSecCore = float64(m.TotalEvents) / secs / float64(p.GOMAXPROCS)
+	}
+	return p
+}
+
+// JSON renders the baseline as indented JSON with a trailing newline.
+func (p SchedBaseline) JSON() []byte {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		panic(err) // static struct: cannot fail
+	}
+	return append(b, '\n')
+}

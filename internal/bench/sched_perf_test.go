@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sage/internal/sched"
+)
+
+// TestSchedPerfBaselineFileValid guards the committed BENCH_sched.json: it
+// must parse, cover the dispatch benchmark, and hold the scheduler's
+// machine-independent budget — a steady-state dispatch round at 16
+// concurrent jobs (reap scan, blocked admission, preemption reconcile)
+// allocates nothing per Step. The throughput number is machine-dependent
+// and only checked for presence.
+func TestSchedPerfBaselineFileValid(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_sched.json"))
+	if err != nil {
+		t.Fatalf("missing sched baseline (regenerate with `go run ./cmd/sagebench -perf`): %v", err)
+	}
+	var p SchedBaseline
+	if err := json.Unmarshal(raw, &p); err != nil {
+		t.Fatalf("BENCH_sched.json does not parse: %v", err)
+	}
+	if p.GoVersion == "" || p.GOARCH == "" {
+		t.Fatalf("baseline missing toolchain stamp: %+v", p)
+	}
+	key := sched.DispatchBenchName(schedPerfJobs)
+	r, ok := p.Benchmarks[key]
+	if !ok || r.NsPerOp <= 0 {
+		t.Fatalf("baseline missing or degenerate %s: %+v", key, r)
+	}
+	if r.AllocsPerOp != 0 {
+		t.Fatalf("%s allocates %d per op in the committed baseline; the steady-state budget is 0", key, r.AllocsPerOp)
+	}
+	if p.Events <= 0 || p.EventsPerSecCore <= 0 {
+		t.Fatalf("baseline contention run degenerate: events=%d ev/s/core=%.1f", p.Events, p.EventsPerSecCore)
+	}
+}
+
+// TestDispatchSteadyStateZeroAlloc runs the dispatch benchmark in-process
+// so the budget holds on every test run, not only when the baseline file is
+// regenerated.
+func TestDispatchSteadyStateZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark loop")
+	}
+	r := testing.Benchmark(func(b *testing.B) { sched.RunBenchmarkDispatch(b, schedPerfJobs) })
+	if allocs := r.AllocsPerOp(); allocs != 0 {
+		t.Fatalf("steady-state dispatch allocates %d per Step; budget is 0", allocs)
+	}
+}

@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"sage/internal/cloud"
@@ -59,6 +60,10 @@ type Engine struct {
 	// with one shard); shardBySite maps every topology site to its shard.
 	shard       *simtime.Sharded
 	shardBySite map[cloud.SiteID]int
+	// nextJob numbers job runs in Start order. The first job on an engine
+	// is job 0, so single-job traces and metrics are indistinguishable from
+	// the pre-multi-job format.
+	nextJob int
 }
 
 // Shards returns the engine's shard count (1 = fully sequential core).
@@ -317,6 +322,12 @@ type Report struct {
 	// (always zero for acknowledged transport).
 	BytesLost int64
 	MeanLoss  float64
+	// EgressCost is the egress component of TotalCost; the remainder is
+	// leased VM time. The fair-share scheduler bills tenants by it.
+	EgressCost float64
+	// VMSeconds is the accumulated VM-seconds leased for transfers:
+	// Σ nodes×duration over every shipped partial.
+	VMSeconds float64
 	// Global is the merged aggregate over every completed window — the
 	// analysis answer.
 	Global *stream.KeyedAgg
@@ -378,6 +389,21 @@ type JobRun struct {
 	processed int
 	expected  int
 	finalized bool
+	// id numbers the run on its engine (Start order, first job 0);
+	// jobLabel is the cached decimal form for metric labels.
+	id       int
+	jobLabel string
+	// completedAt is the virtual time Done() first became true (0 until
+	// then): the job's precise finish for multi-job completion accounting.
+	completedAt simtime.Time
+	// live tracks in-flight acknowledged transfers with enough context to
+	// abort and ledger-resume them (non-resilient jobs only; resilient jobs
+	// track in-flight transfers through their guard). held queues ships
+	// deferred while the job's transfers are paused; each held entry owns
+	// one provisional inflight count.
+	live       []liveXfer
+	held       []heldShip
+	xferPaused bool
 	// sink is the current meta-reducer site: JobSpec.Sink until a failover
 	// re-elects it.
 	sink cloud.SiteID
@@ -484,6 +510,9 @@ func (e *Engine) Start(job JobSpec, dur time.Duration) (*JobRun, error) {
 		windows: make(map[simtime.Time]*windowState),
 		sink:    job.Sink,
 	}
+	run.id = e.nextJob
+	e.nextJob++
+	run.jobLabel = strconv.Itoa(run.id)
 
 	srcs := make([]*sourceState, len(job.Sources))
 	genRoot := rng.New(77)
@@ -525,6 +554,17 @@ func (e *Engine) Start(job JobSpec, dur time.Duration) (*JobRun, error) {
 	nWindows := int(dur / job.Window)
 	run.expected = nWindows * len(srcs)
 
+	// Window ends snap to the global tumbling grid: the aggregator buckets
+	// events by absolute time (start % width), so a job admitted off-grid —
+	// a scheduler admitting into a freed slot mid-run — must open its first
+	// window at the next grid boundary or every process window would span
+	// two aggregate windows and double-ship. For jobs started on the grid
+	// (time zero, warmup multiples) this is the identity.
+	base := e.Sched.Now()
+	if off := base % simtime.Time(job.Window); off != 0 {
+		base += simtime.Time(job.Window) - off
+	}
+
 	run.complete = func(ws *windowState, at simtime.Time) {
 		rep.Global.Merge(ws.merged)
 		if run.guard == nil {
@@ -544,11 +584,11 @@ func (e *Engine) Start(job JobSpec, dur time.Duration) (*JobRun, error) {
 		rep.Latencies = append(rep.Latencies, at-ws.window.End)
 		if e.Trace != nil {
 			e.Trace.Record(trace.NewWindowComplete(at, string(run.sink),
-				at-ws.window.End, ws.window.String()))
+				at-ws.window.End, ws.window.String()).WithJob(run.id))
 		}
 		if e.Obs != nil {
-			e.met.windows.With(string(run.sink)).Inc()
-			e.met.winLatency.With(string(run.sink)).Observe((at - ws.window.End).Seconds())
+			e.met.windows.With(string(run.sink), run.jobLabel).Inc()
+			e.met.winLatency.With(string(run.sink), run.jobLabel).Observe((at - ws.window.End).Seconds())
 			e.Obs.Spans().WindowSpan(ws.window.End, at, string(run.sink), uint64(ws.window.Start))
 		}
 	}
@@ -578,7 +618,7 @@ func (e *Engine) Start(job JobSpec, dur time.Duration) (*JobRun, error) {
 		if useShards {
 			shard := e.shardBySite[s.spec.Site]
 			for w := 1; w <= nWindows; w++ {
-				end := e.Sched.Now() + simtime.Time(w)*simtime.Time(job.Window)
+				end := base + simtime.Time(w)*simtime.Time(job.Window)
 				e.shard.At(shard, end, func() {
 					s.pending = append(s.pending, e.stageWindow(run, s, end))
 				}, func() {
@@ -592,8 +632,8 @@ func (e *Engine) Start(job JobSpec, dur time.Duration) (*JobRun, error) {
 			}
 		} else {
 			for w := 1; w <= nWindows; w++ {
-				end := simtime.Time(w) * simtime.Time(job.Window)
-				e.Sched.At(e.Sched.Now()+end, func() { process(s, e.Sched.Now()) })
+				end := base + simtime.Time(w)*simtime.Time(job.Window)
+				e.Sched.At(end, func() { process(s, e.Sched.Now()) })
 			}
 		}
 	}
@@ -677,9 +717,10 @@ func (e *Engine) commitWindow(run *JobRun, s *sourceState, end simtime.Time, st 
 	}
 	run.rep.TotalEvents += int64(st.kept)
 	if e.Obs != nil {
-		e.met.events.With(string(s.spec.Site)).Add(int64(st.kept))
+		e.met.events.With(string(s.spec.Site), run.jobLabel).Add(int64(st.kept))
 		e.Obs.Spans().WindowClose(end, string(s.spec.Site), st.kept, uint64(st.start))
 	}
+	run.noteDone(e.Sched.Now())
 }
 
 // ship moves one closed window partial from a source site to the sink.
@@ -704,6 +745,20 @@ func (e *Engine) shipResume(run *JobRun, s *sourceState, cw stream.Closed, event
 	inflight := &run.inflight
 	sink := run.sink
 
+	if run.xferPaused && run.guard == nil {
+		// The scheduler has preempted this job's transfers: park the ship
+		// (with its resume ledger, if any) and keep one provisional inflight
+		// count so Done() stays false until the held work replays.
+		*inflight++
+		hs := heldShip{s: s, cw: cw, events: events, preBytes: preBytes}
+		if resume != nil {
+			hs.resume = *resume
+			hs.hasResume = true
+		}
+		run.held = append(run.held, hs)
+		return
+	}
+
 	ws := run.windows[cw.Window.Start]
 	if ws == nil {
 		ws = &windowState{window: cw.Window, merged: run.newSinkAgg()}
@@ -724,10 +779,12 @@ func (e *Engine) shipResume(run *JobRun, s *sourceState, cw stream.Closed, event
 		run.guard.recordWindow(s, cw, events, bytes)
 	}
 	if e.Obs != nil {
-		e.met.partials.With(string(s.spec.Site)).Inc()
+		e.met.partials.With(string(s.spec.Site), run.jobLabel).Inc()
 	}
 
-	arrive := func(tr time.Duration, lanes int, cost float64) {
+	arrive := func(tr time.Duration, lanes int, cost, egress float64) {
+		rep.EgressCost += egress
+		rep.VMSeconds += float64(lanes) * tr.Seconds()
 		if run.guard != nil && run.guard.noteArrive(s, ws, bytes) {
 			// Duplicate delivery: the sink already merged this partial (a
 			// replay overlapped with what survived the failure). The bytes
@@ -760,7 +817,7 @@ func (e *Engine) shipResume(run *JobRun, s *sourceState, cw stream.Closed, event
 
 	if s.spec.Site == sink {
 		// Local source: the partial is already at the meta-reducer.
-		arrive(0, 0, 0)
+		arrive(0, 0, 0, 0)
 		return
 	}
 
@@ -775,13 +832,15 @@ func (e *Engine) shipResume(run *JobRun, s *sourceState, cw stream.Closed, event
 			est = 0.5
 		}
 		*inflight++
-		err := e.Mgr.SendDatagram(s.spec.Site, sink, bytes, est, func(dr transfer.DatagramResult) {
+		err := e.Mgr.SendDatagramJob(run.id, s.spec.Site, sink, bytes, est, func(dr transfer.DatagramResult) {
 			*inflight--
 			rep.BytesLost += dr.Offered - dr.Delivered
-			arrive(dr.Duration, 2, dr.Cost)
+			arrive(dr.Duration, 2, dr.Cost, dr.EgressCost)
+			run.noteDone(e.Sched.Now())
 		})
 		if err != nil {
 			*inflight--
+			run.noteDone(e.Sched.Now())
 		}
 		return
 	}
@@ -791,6 +850,7 @@ func (e *Engine) shipResume(run *JobRun, s *sourceState, cw stream.Closed, event
 		Strategy: job.Strategy, Lanes: job.Lanes,
 		NodeBudget: job.NodeBudget, MaxPaths: job.MaxPaths, Intr: job.Intr,
 		Resume: resume,
+		JobID:  run.id,
 	}
 	// Cost/time-aware sizing: invert the per-window budget or deadline into
 	// a node count against the monitor's current estimate, using the
@@ -867,6 +927,7 @@ func (e *Engine) shipResume(run *JobRun, s *sourceState, cw stream.Closed, event
 	var err error
 	h, err = e.Mgr.Transfer(req, func(res transfer.Result) {
 		*inflight--
+		run.untrack(h)
 		if job.Calibrate && e.Calib != nil {
 			e.Calib.RecordNormalized(s.spec.Site, e.Sched.Now(), lanes, res.Duration, res.Bytes)
 		}
@@ -874,20 +935,26 @@ func (e *Engine) shipResume(run *JobRun, s *sourceState, cw stream.Closed, event
 			// Resumed transfer: the ledger spared these chunks the wire, so
 			// only the remainder counts toward shipped bytes.
 			bytes -= res.SkippedBytes
-			run.guard.noteSkipped(res.SkippedBytes)
+			if run.guard != nil {
+				run.guard.noteSkipped(res.SkippedBytes)
+			}
 		}
-		arrive(res.Duration, res.NodesUsed, res.Cost)
+		arrive(res.Duration, res.NodesUsed, res.Cost, res.EgressCost)
 		// noteArrive (inside arrive) has dropped the guard's reference, so
 		// the run can return to the manager's pool for the next window.
 		e.Mgr.Recycle(h)
+		run.noteDone(e.Sched.Now())
 	})
 	if err != nil {
 		*inflight--
+		run.noteDone(e.Sched.Now())
 		// A partial that cannot be shipped is lost; the window will be
 		// reported incomplete.
 		return
 	}
 	if run.guard != nil {
 		run.guard.trackTransfer(s, cw.Window.Start, h)
+	} else {
+		run.live = append(run.live, liveXfer{h: h, s: s, cw: cw, events: events})
 	}
 }

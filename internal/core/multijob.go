@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sage/internal/simtime"
+	"sage/internal/stream"
+	"sage/internal/transfer"
+)
+
+// This file is the engine's multi-job surface: the per-run identity,
+// accounting and preemption hooks the sched package builds on. A single-job
+// engine never touches any of it beyond the zero-valued fields.
+
+// liveXfer tracks one in-flight acknowledged transfer of a non-resilient job
+// with enough context to abort it and later replay the ship from its ledger.
+type liveXfer struct {
+	h      *transfer.Handle
+	s      *sourceState
+	cw     stream.Closed
+	events int
+}
+
+// heldShip is a ship deferred while the job's transfers are paused. Each
+// held entry owns exactly one provisional inflight count, taken when the
+// ship was intercepted and released when the replay re-dispatches it.
+type heldShip struct {
+	s         *sourceState
+	cw        stream.Closed
+	events    int
+	preBytes  int64
+	resume    transfer.Ledger
+	hasResume bool
+}
+
+// ID returns the run's engine-assigned job number (Start order, first job 0).
+func (r *JobRun) ID() int { return r.id }
+
+// CompletedAt returns the virtual time Done() first became true, or 0 while
+// the job is still running.
+func (r *JobRun) CompletedAt() simtime.Time { return r.completedAt }
+
+// Finalize computes and returns the run's report. Idempotent; Engine.Wait
+// calls it implicitly, schedulers driving runs by hand call it directly.
+func (r *JobRun) Finalize() *Report { return r.finalize() }
+
+// SpentSoFar reports the run's accumulated total and egress cost, readable
+// mid-run — the live signal fair-share admission charges tenants by.
+func (r *JobRun) SpentSoFar() (cost, egress float64) {
+	return r.rep.TotalCost, r.rep.EgressCost
+}
+
+// noteDone records the completion instant the first time Done() flips true.
+// Called at every place processed or inflight changes.
+func (r *JobRun) noteDone(now simtime.Time) {
+	if r.completedAt == 0 && r.Done() {
+		r.completedAt = now
+	}
+}
+
+// untrack drops a finished transfer from the live set (no-op for handles the
+// run is not tracking, e.g. resilient jobs whose guard tracks instead).
+func (r *JobRun) untrack(h *transfer.Handle) {
+	for i := range r.live {
+		if r.live[i].h == h {
+			last := len(r.live) - 1
+			r.live[i] = r.live[last]
+			r.live[last] = liveXfer{}
+			r.live = r.live[:last]
+			return
+		}
+	}
+}
+
+// PauseJobTransfers preempts a run's wide-area activity: every in-flight
+// acknowledged transfer is aborted with its ledger snapshotted, and every
+// subsequent ship is parked until ResumeJobTransfers. Acknowledged chunks
+// stay acknowledged — the resume replays only the remainder, so preemption
+// wastes at most one chunk per lane, not the transfer. Returns the number of
+// live transfers converted to held ledgers. Resilient jobs track transfers
+// through their guard and are not preemptible (the call only sets the hold).
+func (e *Engine) PauseJobTransfers(run *JobRun) int {
+	if run.xferPaused {
+		return 0
+	}
+	run.xferPaused = true
+	if run.guard != nil {
+		return 0
+	}
+	n := 0
+	for _, lx := range run.live {
+		led := lx.h.Ledger()
+		e.Mgr.Abort(lx.h)
+		e.Mgr.Recycle(lx.h)
+		// The dispatch already counted this ship inflight; moving it from
+		// live to held transfers that count to the held entry untouched.
+		run.held = append(run.held, heldShip{
+			s: lx.s, cw: lx.cw, events: lx.events,
+			preBytes: -1, resume: led, hasResume: true,
+		})
+		n++
+	}
+	for i := range run.live {
+		run.live[i] = liveXfer{}
+	}
+	run.live = run.live[:0]
+	return n
+}
+
+// ResumeJobTransfers lifts a pause and replays every held ship in hold
+// order, resuming preempted transfers from their ledgers.
+func (e *Engine) ResumeJobTransfers(run *JobRun) {
+	if !run.xferPaused {
+		return
+	}
+	run.xferPaused = false
+	held := run.held
+	run.held = nil
+	for i := range held {
+		hs := &held[i]
+		run.inflight-- // shipResume re-counts the dispatch
+		var resume *transfer.Ledger
+		if hs.hasResume {
+			resume = &hs.resume
+		}
+		e.shipResume(run, hs.s, hs.cw, hs.events, hs.preBytes, resume)
+	}
+}

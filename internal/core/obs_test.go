@@ -38,17 +38,17 @@ func TestObservedRunExportsMetricsAndTimeline(t *testing.T) {
 		t.Fatalf("sage_jobs_total = %d, want 1", got)
 	}
 	sink := string(cloud.NorthUS)
-	if got := reg.Counter("sage_windows_completed_total", "", "sink").With(sink).Value(); got != int64(rep.Windows) {
+	if got := reg.Counter("sage_windows_completed_total", "", "sink", "job").With(sink, "0").Value(); got != int64(rep.Windows) {
 		t.Fatalf("windows metric = %d, report says %d", got, rep.Windows)
 	}
 	var events int64
 	for _, site := range []cloud.SiteID{cloud.NorthEU, cloud.WestEU, cloud.SouthUS} {
-		events += reg.Counter("sage_events_total", "", "site").With(string(site)).Value()
+		events += reg.Counter("sage_events_total", "", "site", "job").With(string(site), "0").Value()
 	}
 	if events != rep.TotalEvents {
 		t.Fatalf("events metric = %d, report says %d", events, rep.TotalEvents)
 	}
-	h := reg.Histogram("sage_window_latency_seconds", "", obs.DefBuckets, "sink").With(sink)
+	h := reg.Histogram("sage_window_latency_seconds", "", obs.DefBuckets, "sink", "job").With(sink, "0")
 	if h.Count() != int64(rep.Windows) {
 		t.Fatalf("latency observations = %d, want %d", h.Count(), rep.Windows)
 	}
@@ -74,7 +74,7 @@ func TestObservedRunExportsMetricsAndTimeline(t *testing.T) {
 	if err := reg.WritePrometheus(&prom); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(prom.String(), `sage_windows_completed_total{sink="`+sink+`"} `) {
+	if !strings.Contains(prom.String(), `sage_windows_completed_total{sink="`+sink+`",job="0"} `) {
 		t.Fatalf("prometheus export missing windows series:\n%s", prom.String())
 	}
 	var chrome strings.Builder
@@ -123,12 +123,12 @@ func TestRegistryConcurrentEngines(t *testing.T) {
 	if got := reg.Counter("sage_jobs_total", "").With().Value(); got != wantJobs {
 		t.Fatalf("jobs = %d, want %d", got, wantJobs)
 	}
-	if got := reg.Counter("sage_windows_completed_total", "", "sink").With(string(cloud.NorthUS)).Value(); got != wantWindows {
+	if got := reg.Counter("sage_windows_completed_total", "", "sink", "job").With(string(cloud.NorthUS), "0").Value(); got != wantWindows {
 		t.Fatalf("windows = %d, want %d", got, wantWindows)
 	}
 	var events int64
 	for _, site := range []cloud.SiteID{cloud.NorthEU, cloud.WestEU, cloud.SouthUS} {
-		events += reg.Counter("sage_events_total", "", "site").With(string(site)).Value()
+		events += reg.Counter("sage_events_total", "", "site", "job").With(string(site), "0").Value()
 	}
 	if events != wantEvents {
 		t.Fatalf("events = %d, want %d", events, wantEvents)

@@ -7,10 +7,10 @@ import "sage/internal/obs"
 // instrumented paths below cost one nil check each when the layer is off.
 type engineMetrics struct {
 	jobs        obs.CounterVec   // (no labels) jobs started
-	windows     obs.CounterVec   // sink: globally completed windows
-	events      obs.CounterVec   // site: events kept after Map
-	partials    obs.CounterVec   // site: partials shipped
-	winLatency  obs.HistogramVec // sink: window close → last partial, seconds
+	windows     obs.CounterVec   // sink, job: globally completed windows
+	events      obs.CounterVec   // site, job: events kept after Map
+	partials    obs.CounterVec   // site, job: partials shipped
+	winLatency  obs.HistogramVec // sink, job: window close → last partial, seconds
 	checkpoints obs.CounterVec   // sink: checkpoints persisted
 	ckptBytes   obs.CounterVec   // sink: checkpointed bytes
 	failovers   obs.CounterVec   // sink: meta-reducer re-elections
@@ -23,10 +23,10 @@ type engineMetrics struct {
 func newEngineMetrics(r *obs.Registry) engineMetrics {
 	return engineMetrics{
 		jobs:        r.Counter("sage_jobs_total", "jobs started on the engine"),
-		windows:     r.Counter("sage_windows_completed_total", "globally completed windows", "sink"),
-		events:      r.Counter("sage_events_total", "source events kept after Map", "site"),
-		partials:    r.Counter("sage_partials_shipped_total", "window partials shipped", "site"),
-		winLatency:  r.Histogram("sage_window_latency_seconds", "window close to last partial arrival", obs.DefBuckets, "sink"),
+		windows:     r.Counter("sage_windows_completed_total", "globally completed windows", "sink", "job"),
+		events:      r.Counter("sage_events_total", "source events kept after Map", "site", "job"),
+		partials:    r.Counter("sage_partials_shipped_total", "window partials shipped", "site", "job"),
+		winLatency:  r.Histogram("sage_window_latency_seconds", "window close to last partial arrival", obs.DefBuckets, "sink", "job"),
 		checkpoints: r.Counter("sage_checkpoints_total", "checkpoints persisted", "sink"),
 		ckptBytes:   r.Counter("sage_checkpoint_bytes_total", "checkpointed state bytes", "sink"),
 		failovers:   r.Counter("sage_failovers_total", "meta-reducer re-elections", "sink"),

@@ -75,7 +75,12 @@ type LinkState struct {
 	Key       LinkKey
 	Estimator Estimator
 	History   *History
-	paused    bool
+	// paused is a depth count, not a flag: probe/estimate state is
+	// world-scoped and shared by every job on the engine, so concurrent
+	// jobs (or a job's guard plus a scheduler preemption) may pause the
+	// same link independently. The link resumes probing only when every
+	// pauser has resumed.
+	paused int
 
 	// probeCtr / estGauge export probing activity and the current estimate;
 	// no-op handles when observability is off.
@@ -203,7 +208,7 @@ func (s *Service) Stop() {
 func (s *Service) probeAll() {
 	for _, k := range s.order {
 		st := s.links[k]
-		if st.paused {
+		if st.paused > 0 {
 			continue
 		}
 		v := s.net.Probe(k.From, k.To)
@@ -219,26 +224,38 @@ func (s *Service) probeAll() {
 }
 
 // Pause suspends probing of one link (e.g. while a transfer runs on it).
-func (s *Service) Pause(from, to cloud.SiteID) { s.state(from, to).paused = true }
+// Pauses nest: each Pause must be matched by one Resume before probing
+// restarts, so independent pausers — concurrent jobs sharing the one
+// world-scoped monitor — compose instead of clobbering each other.
+func (s *Service) Pause(from, to cloud.SiteID) { s.state(from, to).paused++ }
 
-// Resume re-enables probing of a paused link.
-func (s *Service) Resume(from, to cloud.SiteID) { s.state(from, to).paused = false }
+// Resume undoes one Pause of the link. Extra Resumes are ignored.
+func (s *Service) Resume(from, to cloud.SiteID) {
+	if st := s.state(from, to); st.paused > 0 {
+		st.paused--
+	}
+}
 
-// PauseSite suspends probing of every link that touches the site. The
-// resilience detector calls it when a site is declared dead: probing a dead
-// site wastes intrusiveness budget and would only feed the estimators
-// zeroes.
-func (s *Service) PauseSite(site cloud.SiteID) { s.setSitePaused(site, true) }
+// PauseSite suspends probing of every link that touches the site (one Pause
+// depth per link). The resilience detector calls it when a site is declared
+// dead: probing a dead site wastes intrusiveness budget and would only feed
+// the estimators zeroes.
+func (s *Service) PauseSite(site cloud.SiteID) { s.setSitePaused(site, 1) }
 
-// ResumeSite re-enables probing of every link that touches the site. Note it
-// also unpauses links individually paused via Pause; callers that interleave
-// per-link and per-site pausing must re-assert the per-link state.
-func (s *Service) ResumeSite(site cloud.SiteID) { s.setSitePaused(site, false) }
+// ResumeSite undoes one PauseSite. Pauses are counted per link, so two jobs'
+// guards pausing the same dead site resume it only after both recover — the
+// historical flag semantics silently un-paused every other job's links.
+func (s *Service) ResumeSite(site cloud.SiteID) { s.setSitePaused(site, -1) }
 
-func (s *Service) setSitePaused(site cloud.SiteID, paused bool) {
+func (s *Service) setSitePaused(site cloud.SiteID, delta int) {
 	for _, k := range s.order {
-		if k.From == site || k.To == site {
-			s.links[k].paused = paused
+		if k.From != site && k.To != site {
+			continue
+		}
+		st := s.links[k]
+		st.paused += delta
+		if st.paused < 0 {
+			st.paused = 0
 		}
 	}
 }

@@ -168,6 +168,7 @@ type Flow struct {
 	err        error
 	capMBps    float64
 	background bool
+	job        int
 	onDone     func(*Flow)
 	resources  []*resource
 	activation *simtime.Event
@@ -295,6 +296,11 @@ type Network struct {
 	wake    *simtime.Event
 	onWake  func()
 	egress  map[cloud.SiteID]int64
+	// jobEgress accumulates WAN egress bytes per job ID (dense; grown on
+	// demand). Cross-job flow attribution: every non-background WAN flow
+	// adds its delivered bytes to its job's cell, so a multi-job run can
+	// bill each tenant exactly, and the per-job sum equals the per-site sum.
+	jobEgress []int64
 	nodeSeq map[cloud.SiteID]int
 
 	// met / egressCtr are the observability families and the per-site
@@ -496,6 +502,9 @@ type FlowOpts struct {
 	// does not count toward the aggregate-parallelism law or egress
 	// accounting.
 	Background bool
+	// JobID attributes the flow's egress to one job of a multi-job run
+	// (see Network.JobEgressBytes). Single-job traffic is job 0.
+	JobID int
 }
 
 // StartFlow begins a transfer of size bytes from src to dst. onDone fires
@@ -518,6 +527,7 @@ func (n *Network) StartFlow(src, dst *Node, size int64, opts FlowOpts, onDone fu
 	f.started, f.lastUpdate = n.sched.Now(), n.sched.Now()
 	f.capMBps = opts.CapMBps
 	f.background = opts.Background
+	f.job = opts.JobID
 	f.onDone = onDone
 	f.network = n
 	n.nextID++
@@ -714,6 +724,21 @@ func (n *Network) Probe(from, to cloud.SiteID) float64 {
 // the quantity billed by the provider.
 func (n *Network) EgressBytes(site cloud.SiteID) int64 { return n.egress[site] }
 
+// JobEgressBytes returns the WAN egress bytes attributed to one job via
+// FlowOpts.JobID. Background (cross-traffic) flows are excluded, exactly as
+// in the per-site accounting, so summing JobEgressBytes over JobsSeen equals
+// summing EgressBytes over every site.
+func (n *Network) JobEgressBytes(job int) int64 {
+	if job < 0 || job >= len(n.jobEgress) {
+		return 0
+	}
+	return n.jobEgress[job]
+}
+
+// JobsSeen returns the number of job-egress cells allocated so far (one past
+// the highest job ID that has finished a WAN flow).
+func (n *Network) JobsSeen() int { return len(n.jobEgress) }
+
 // ActiveFlows returns the number of unfinished flows.
 func (n *Network) ActiveFlows() int { return len(n.live) }
 
@@ -776,6 +801,14 @@ func (n *Network) finishFlow(f *Flow, err error) {
 		}
 		n.egress[f.Src.Site] += int64(f.done)
 		n.egressCounter(f.Src.Site).Add(int64(f.done))
+		job := f.job
+		if job < 0 {
+			job = 0
+		}
+		for len(n.jobEgress) <= job {
+			n.jobEgress = append(n.jobEgress, 0)
+		}
+		n.jobEgress[job] += int64(f.done)
 	}
 	if f.active {
 		for _, r := range f.resources {

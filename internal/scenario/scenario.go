@@ -16,6 +16,7 @@ import (
 	"sage/internal/netsim"
 	"sage/internal/resilience"
 	"sage/internal/rng"
+	"sage/internal/sched"
 	"sage/internal/stream"
 	"sage/internal/transfer"
 	"sage/internal/workload"
@@ -61,10 +62,15 @@ type Scenario struct {
 	// Workers deploys VMs: class name -> count per site (default
 	// {"Medium": 8}).
 	Workers map[string]int `json:"workers,omitempty"`
-	// Job describes the streaming job (exactly one of Job/Gather).
+	// Job describes the streaming job (exactly one of Job/Gather/Jobs).
 	Job *JobConfig `json:"job,omitempty"`
 	// Gather describes a file-collection run.
 	Gather *GatherConfig `json:"gather,omitempty"`
+	// Jobs describes a multi-job roster run under the admission scheduler:
+	// every job shares one world and contends for links and VM slots.
+	Jobs []MultiJobConfig `json:"jobs,omitempty"`
+	// Scheduler configures admission for a Jobs roster.
+	Scheduler *SchedulerConfig `json:"scheduler,omitempty"`
 	// Injections are timed faults.
 	Injections []Injection `json:"injections,omitempty"`
 	// Warmup is monitoring time before the workload (default 1m).
@@ -88,6 +94,29 @@ type JobConfig struct {
 	// checkpoints at this virtual-time interval, site failures are detected
 	// by heartbeat and recovered by replay/failover. Empty disables.
 	CheckpointInterval Duration `json:"checkpoint_interval,omitempty"`
+}
+
+// MultiJobConfig is one roster entry: a streaming job plus the scheduling
+// metadata the admission queue orders it by.
+type MultiJobConfig struct {
+	JobConfig
+	// Name labels the job in the multi-job report (default "jobN").
+	Name string `json:"name,omitempty"`
+	// Tenant groups jobs for fair-share accounting (default: the name).
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders admission classes; with scheduler.preempt a running
+	// high-priority job pauses lower-priority jobs' transfers.
+	Priority int `json:"priority,omitempty"`
+	// Arrival is the submission instant, offset from scheduler start.
+	Arrival Duration `json:"arrival,omitempty"`
+}
+
+// SchedulerConfig mirrors sched.Options declaratively.
+type SchedulerConfig struct {
+	MaxConcurrent int      `json:"max_concurrent,omitempty"`
+	Policy        string   `json:"policy,omitempty"` // fifo|fair|sjf
+	Tick          Duration `json:"tick,omitempty"`
+	Preempt       bool     `json:"preempt,omitempty"`
 }
 
 // SourceConfig declares one event source.
@@ -155,8 +184,17 @@ func Load(r io.Reader) (*Scenario, error) {
 
 // Validate checks the scenario's internal consistency.
 func (s *Scenario) Validate() error {
-	if (s.Job == nil) == (s.Gather == nil) {
-		return fmt.Errorf("scenario %q: exactly one of job or gather required", s.Name)
+	modes := 0
+	for _, set := range []bool{s.Job != nil, s.Gather != nil, len(s.Jobs) > 0} {
+		if set {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return fmt.Errorf("scenario %q: exactly one of job, gather or jobs required", s.Name)
+	}
+	if s.Scheduler != nil && len(s.Jobs) == 0 {
+		return fmt.Errorf("scenario %q: scheduler requires a jobs roster", s.Name)
 	}
 	switch s.Topology {
 	case "", "default", "world":
@@ -174,15 +212,29 @@ func (s *Scenario) Validate() error {
 		}
 	}
 	if s.Job != nil {
-		j := s.Job
-		if len(j.Sources) == 0 || j.Sink == "" || j.Window <= 0 || j.Duration <= 0 {
-			return fmt.Errorf("scenario %q: job needs sources, sink, window, duration", s.Name)
+		if err := s.validateJob(s.Job, "job"); err != nil {
+			return err
 		}
-		if _, ok := aggKinds[j.Agg]; !ok {
-			return fmt.Errorf("scenario %q: unknown agg %q", s.Name, j.Agg)
+	}
+	for i := range s.Jobs {
+		mj := &s.Jobs[i]
+		label := mj.Name
+		if label == "" {
+			label = fmt.Sprintf("jobs[%d]", i)
 		}
-		if _, ok := strategies[j.Strategy]; !ok {
-			return fmt.Errorf("scenario %q: unknown strategy %q", s.Name, j.Strategy)
+		if err := s.validateJob(&mj.JobConfig, label); err != nil {
+			return err
+		}
+		if mj.Arrival < 0 {
+			return fmt.Errorf("scenario %q: %s has a negative arrival", s.Name, label)
+		}
+		if mj.CheckpointInterval > 0 {
+			return fmt.Errorf("scenario %q: %s: checkpointing is not supported under the multi-job scheduler", s.Name, label)
+		}
+	}
+	if s.Scheduler != nil {
+		if _, ok := sched.ByName(s.Scheduler.Policy); !ok {
+			return fmt.Errorf("scenario %q: unknown scheduler policy %q", s.Name, s.Scheduler.Policy)
 		}
 	}
 	if s.Gather != nil {
@@ -194,6 +246,24 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("scenario %q: unknown strategy %q", s.Name, g.Strategy)
 		}
 	}
+	return s.validateInjections()
+}
+
+// validateJob checks one job config, labelled for error messages.
+func (s *Scenario) validateJob(j *JobConfig, label string) error {
+	if len(j.Sources) == 0 || j.Sink == "" || j.Window <= 0 || j.Duration <= 0 {
+		return fmt.Errorf("scenario %q: %s needs sources, sink, window, duration", s.Name, label)
+	}
+	if _, ok := aggKinds[j.Agg]; !ok {
+		return fmt.Errorf("scenario %q: unknown agg %q", s.Name, j.Agg)
+	}
+	if _, ok := strategies[j.Strategy]; !ok {
+		return fmt.Errorf("scenario %q: unknown strategy %q", s.Name, j.Strategy)
+	}
+	return nil
+}
+
+func (s *Scenario) validateInjections() error {
 	for i, inj := range s.Injections {
 		switch inj.Kind {
 		case "link_scale":
@@ -216,6 +286,7 @@ type Result struct {
 	Name   string
 	Report *core.Report       // for jobs
 	Gather *core.GatherReport // for gathers
+	Multi  *sched.MultiReport // for multi-job rosters
 }
 
 // Run builds an engine, applies deployments and injections, executes the
@@ -267,7 +338,7 @@ func (s *Scenario) Run() (*Result, error) {
 
 	res := &Result{Name: s.Name}
 	if s.Job != nil {
-		job, err := s.buildJob()
+		job, err := s.buildJob(s.Job, "scenario/")
 		if err != nil {
 			return nil, err
 		}
@@ -276,6 +347,14 @@ func (s *Scenario) Run() (*Result, error) {
 			return nil, err
 		}
 		res.Report = rep
+		return res, nil
+	}
+	if len(s.Jobs) > 0 {
+		m, err := s.runJobs(e)
+		if err != nil {
+			return nil, err
+		}
+		res.Multi = m
 		return res, nil
 	}
 	g := s.Gather
@@ -297,8 +376,48 @@ func (s *Scenario) Run() (*Result, error) {
 	return res, nil
 }
 
-func (s *Scenario) buildJob() (*core.JobSpec, error) {
-	j := s.Job
+// runJobs submits the roster to the admission scheduler and drives it to
+// completion on the shared engine.
+func (s *Scenario) runJobs(e *core.Engine) (*sched.MultiReport, error) {
+	opt := sched.Options{}
+	if c := s.Scheduler; c != nil {
+		pol, _ := sched.ByName(c.Policy) // Validate rejected unknown names
+		opt = sched.Options{
+			MaxConcurrent: c.MaxConcurrent,
+			Policy:        pol,
+			Tick:          time.Duration(c.Tick),
+			Preempt:       c.Preempt,
+		}
+	}
+	sc := sched.New(e, opt)
+	for i := range s.Jobs {
+		mj := &s.Jobs[i]
+		name := mj.Name
+		if name == "" {
+			name = fmt.Sprintf("job%d", i)
+		}
+		spec, err := s.buildJob(&mj.JobConfig, "scenario/"+name+"/")
+		if err != nil {
+			return nil, err
+		}
+		if err := sc.Submit(sched.JobSpec{
+			Name:     name,
+			Tenant:   mj.Tenant,
+			Priority: mj.Priority,
+			Arrival:  time.Duration(mj.Arrival),
+			Duration: time.Duration(mj.Duration),
+			Spec:     *spec,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return sc.Run()
+}
+
+// buildJob converts a declarative job config into a core spec. genPrefix
+// namespaces the workload generator streams so every roster job draws an
+// independent deterministic event sequence.
+func (s *Scenario) buildJob(j *JobConfig, genPrefix string) (*core.JobSpec, error) {
 	seed := s.Seed
 	if seed == 0 {
 		seed = 1
@@ -312,7 +431,7 @@ func (s *Scenario) buildJob() (*core.JobSpec, error) {
 		}
 		src := core.SourceSpec{Site: cloud.SiteID(sc.Site), Rate: rate}
 		if sc.Keys > 0 || sc.Skew > 0 {
-			src.Gen = workload.NewSensorGen(genRoot.Split("scenario/"+sc.Site),
+			src.Gen = workload.NewSensorGen(genRoot.Split(genPrefix+sc.Site),
 				cloud.SiteID(sc.Site), workload.SensorOpts{Keys: sc.Keys, Skew: sc.Skew})
 		}
 		sources = append(sources, src)

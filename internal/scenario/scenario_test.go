@@ -255,3 +255,88 @@ func TestApplyInjectionPanicsOnUnhandledKind(t *testing.T) {
 	}()
 	applyInjection(nil, Injection{Kind: "meteor"})
 }
+
+const multiJobJSON = `{
+  "name": "multi-demo",
+  "seed": 3,
+  "weather": "calm",
+  "workers": {"Medium": 6},
+  "scheduler": {"max_concurrent": 2, "policy": "fair"},
+  "jobs": [
+    {"name": "a0", "tenant": "a", "arrival": "0s",
+     "sources": [{"site": "NEU", "rate": 400}], "sink": "NUS",
+     "window": "30s", "agg": "sum", "strategy": "direct", "lanes": 2,
+     "ship_raw": true, "duration": "2m"},
+    {"name": "a1", "tenant": "a", "arrival": "5s",
+     "sources": [{"site": "WEU", "rate": 400}], "sink": "NUS",
+     "window": "30s", "agg": "sum", "strategy": "direct", "lanes": 2,
+     "ship_raw": true, "duration": "2m"},
+    {"name": "b0", "tenant": "b", "arrival": "10s",
+     "sources": [{"site": "SUS", "rate": 300, "keys": 40, "skew": 1.2}],
+     "sink": "NUS", "window": "30s", "agg": "mean", "strategy": "envaware",
+     "lanes": 2, "duration": "90s"}
+  ]
+}`
+
+func TestRunMultiJobScenario(t *testing.T) {
+	s, err := Load(strings.NewReader(multiJobJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Multi == nil || res.Report != nil || res.Gather != nil {
+		t.Fatal("jobs scenario should produce a multi-job report only")
+	}
+	m := res.Multi
+	if len(m.Jobs) != 3 || m.Policy != "fair" || m.MaxConcurrent != 2 {
+		t.Fatalf("multi report = %+v", m)
+	}
+	for _, j := range m.Jobs {
+		if j.Report == nil || j.Report.Windows == 0 || j.Report.TotalEvents == 0 {
+			t.Fatalf("job %s did not run: %+v", j.Name, j.Report)
+		}
+		if j.Finished <= j.Admitted || j.Admitted < j.Arrived {
+			t.Fatalf("job %s has inconsistent timing: %+v", j.Name, j)
+		}
+	}
+}
+
+func TestMultiJobScenarioDeterminism(t *testing.T) {
+	run := func() uint64 {
+		s, err := Load(strings.NewReader(multiJobJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Multi.Fingerprint()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic multi-job scenario: %016x vs %016x", a, b)
+	}
+}
+
+func TestMultiJobValidation(t *testing.T) {
+	cases := []string{
+		// jobs alongside a single job
+		`{"name":"x","job":{"sources":[{"site":"NEU","rate":1}],"sink":"NUS","window":"30s","agg":"mean","strategy":"envaware","duration":"1m"},"jobs":[{"sources":[{"site":"NEU","rate":1}],"sink":"NUS","window":"30s","agg":"mean","strategy":"envaware","duration":"1m"}]}`,
+		// scheduler without a roster
+		`{"name":"x","scheduler":{"policy":"fair"},"gather":{"sites":["NEU"],"files":1,"file_bytes":1,"sink":"NUS","strategy":"envaware"}}`,
+		// unknown policy
+		`{"name":"x","scheduler":{"policy":"lifo"},"jobs":[{"sources":[{"site":"NEU","rate":1}],"sink":"NUS","window":"30s","agg":"mean","strategy":"envaware","duration":"1m"}]}`,
+		// bad roster job
+		`{"name":"x","jobs":[{"name":"bad","sources":[{"site":"NEU","rate":1}],"sink":"NUS","window":"30s","agg":"median","strategy":"envaware","duration":"1m"}]}`,
+		// checkpointing under the scheduler
+		`{"name":"x","jobs":[{"name":"ck","sources":[{"site":"NEU","rate":1}],"sink":"NUS","window":"30s","agg":"mean","strategy":"envaware","duration":"1m","checkpoint_interval":"30s"}]}`,
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d should fail validation", i)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"time"
+
+	"sage/internal/simtime"
+)
+
+// Candidate is one queued job as an admission policy sees it: identity plus
+// the model-derived estimates computed when the job arrived.
+type Candidate struct {
+	Name   string
+	Tenant string
+	// Priority orders admission classes; dispatch only offers the policy the
+	// highest-priority candidates, so Pick never has to weigh priority.
+	Priority int
+	// Order is the submission index, the final deterministic tie-break.
+	Order   int
+	Arrived simtime.Time
+	// EstDuration is the model's completion estimate at arrival: stream
+	// duration plus predicted transfer backlog and final drain.
+	EstDuration time.Duration
+	// EstEgressCost is the predicted egress spend of the whole job, the
+	// quantity fair-share charges tenants by.
+	EstEgressCost float64
+}
+
+// View is the read-only queue state a policy picks from. Pending is never
+// empty when Pick runs. Charges maps tenant → egress cost charged so far
+// (predicted cost of every job the tenant has had admitted).
+type View struct {
+	Pending []Candidate
+	Charges map[string]float64
+	Now     simtime.Time
+}
+
+// Policy selects which pending job to admit next. Pick returns an index into
+// v.Pending; it must be a pure function of the view so scheduling stays
+// deterministic across shard counts and replays.
+type Policy interface {
+	Name() string
+	Pick(v View) int
+}
+
+// fifoBefore is the shared arrival-order comparison every policy tie-breaks
+// with: earlier arrival wins, submission order settles simultaneous arrivals.
+func fifoBefore(a, b Candidate) bool {
+	if a.Arrived != b.Arrived {
+		return a.Arrived < b.Arrived
+	}
+	return a.Order < b.Order
+}
+
+// FIFO admits in arrival order.
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "fifo" }
+
+// Pick implements Policy.
+func (FIFO) Pick(v View) int {
+	best := 0
+	for i := 1; i < len(v.Pending); i++ {
+		if fifoBefore(v.Pending[i], v.Pending[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// FairShare admits the job whose tenant has been charged the least egress
+// cost so far, so one tenant's burst of submissions cannot monopolize the
+// concurrency slots: after each of its admissions the tenant's charge grows
+// and other tenants' queued jobs move ahead. Ties fall back to FIFO.
+type FairShare struct{}
+
+// Name implements Policy.
+func (FairShare) Name() string { return "fair" }
+
+// Pick implements Policy.
+func (FairShare) Pick(v View) int {
+	best := 0
+	bestCharge := v.Charges[v.Pending[0].Tenant]
+	for i := 1; i < len(v.Pending); i++ {
+		c := v.Charges[v.Pending[i].Tenant]
+		if c < bestCharge || (c == bestCharge && fifoBefore(v.Pending[i], v.Pending[best])) {
+			best, bestCharge = i, c
+		}
+	}
+	return best
+}
+
+// SJF (shortest-expected-job-first) admits the job with the smallest
+// model-estimated completion time, the classic mean-wait minimizer. Ties
+// fall back to FIFO.
+type SJF struct{}
+
+// Name implements Policy.
+func (SJF) Name() string { return "sjf" }
+
+// Pick implements Policy.
+func (SJF) Pick(v View) int {
+	best := 0
+	for i := 1; i < len(v.Pending); i++ {
+		a, b := v.Pending[i], v.Pending[best]
+		if a.EstDuration < b.EstDuration ||
+			(a.EstDuration == b.EstDuration && fifoBefore(a, b)) {
+			best = i
+		}
+	}
+	return best
+}
+
+// ByName resolves a policy by its CLI/scenario name.
+func ByName(name string) (Policy, bool) {
+	switch name {
+	case "", "fifo":
+		return FIFO{}, true
+	case "fair", "fairshare":
+		return FairShare{}, true
+	case "sjf":
+		return SJF{}, true
+	}
+	return nil, false
+}
+
+// PolicyNames lists the registered policy names in presentation order.
+func PolicyNames() []string { return []string{"fifo", "fair", "sjf"} }

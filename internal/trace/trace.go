@@ -51,6 +51,17 @@ type Event struct {
 	Bytes int64         `json:"bytes,omitempty"`
 	Value float64       `json:"value,omitempty"`
 	Note  string        `json:"note,omitempty"`
+	// Job attributes the event to one job of a multi-job run. Single-job
+	// runs are job 0, which omitempty keeps off the wire — their JSONL is
+	// byte-identical to the pre-multi-job format.
+	Job int `json:"job,omitempty"`
+}
+
+// WithJob returns a copy of the event attributed to the given job, for
+// chaining onto the typed constructors: Record(NewReplan(...).WithJob(id)).
+func (e Event) WithJob(job int) Event {
+	e.Job = job
+	return e
 }
 
 // Recorder collects events in a bounded ring. The zero value is unusable;

@@ -248,7 +248,7 @@ func (l *lane) pump(i int) {
 	h.c = c
 	h.started = t.m.sched.Now()
 	t.activeFlows++
-	h.flow = t.m.net.StartFlow(h.src, h.dst, c.size, netsim.FlowOpts{CapMBps: cap}, h.onFlowDone)
+	h.flow = t.m.net.StartFlow(h.src, h.dst, c.size, netsim.FlowOpts{CapMBps: cap, JobID: t.req.JobID}, h.onFlowDone)
 	// Watchdog: a flow stalled far beyond its worst-case expectation (a
 	// failed or collapsed node) is cancelled and its chunk requeued.
 	d := t.timeoutFor(c)

@@ -24,6 +24,8 @@ type DatagramResult struct {
 	// Cost covers egress for delivered bytes plus VM time at the
 	// request's pacing duration.
 	Cost float64
+	// EgressCost is the egress component of Cost.
+	EgressCost float64
 }
 
 // SendDatagram transmits size bytes from a worker in `from` to a worker in
@@ -32,6 +34,12 @@ type DatagramResult struct {
 // actually arrived. rateMBps must be positive; Intr caps are the caller's
 // responsibility via the rate.
 func (m *Manager) SendDatagram(from, to cloud.SiteID, size int64, rateMBps float64, onDone func(DatagramResult)) error {
+	return m.SendDatagramJob(0, from, to, size, rateMBps, onDone)
+}
+
+// SendDatagramJob is SendDatagram with the flow attributed to a job of a
+// multi-job run (netsim.FlowOpts.JobID).
+func (m *Manager) SendDatagramJob(job int, from, to cloud.SiteID, size int64, rateMBps float64, onDone func(DatagramResult)) error {
 	if size <= 0 {
 		return errors.New("transfer: datagram size must be positive")
 	}
@@ -73,7 +81,8 @@ func (m *Manager) SendDatagram(from, to cloud.SiteID, size int64, rateMBps float
 			LossRate:  1 - float64(delivered)/float64(size),
 		}
 		if s := m.net.Topology().Site(from); s != nil {
-			res.Cost += cloud.EgressCost(s, delivered)
+			res.EgressCost = cloud.EgressCost(s, delivered)
+			res.Cost += res.EgressCost
 		}
 		hours := res.Duration.Hours()
 		res.Cost += (src.Class.PricePerHour + dst.Class.PricePerHour) * hours * m.opt.DefaultIntr
@@ -85,7 +94,7 @@ func (m *Manager) SendDatagram(from, to cloud.SiteID, size int64, rateMBps float
 	// everything arrives in exactly pace + RTT. If capacity collapses, the
 	// sender does not slow down or retry — it stops on schedule and the
 	// shortfall is loss.
-	fl := m.net.StartFlow(src, dst, size, netsim.FlowOpts{CapMBps: rateMBps}, report)
+	fl := m.net.StartFlow(src, dst, size, netsim.FlowOpts{CapMBps: rateMBps, JobID: job}, report)
 	m.sched.After(pace+rtt, func() {
 		if !fl.Finished() {
 			m.net.CancelFlow(fl) // report runs via the flow callback

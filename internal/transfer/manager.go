@@ -99,6 +99,10 @@ type Request struct {
 	// chunks the ledger records as acknowledged are not re-sent. From, To
 	// and Size must match the ledger.
 	Resume *Ledger
+	// JobID attributes the transfer's flows, trace events and egress to one
+	// job of a multi-job run (netsim.FlowOpts.JobID). Single-job callers
+	// leave it 0.
+	JobID int
 }
 
 // Ledger is the durable acknowledgement state of a transfer — enough to
@@ -153,6 +157,10 @@ type Result struct {
 	// SkippedBytes counts chunk bytes a resumed transfer did not re-send
 	// because its ledger already recorded them as acknowledged.
 	SkippedBytes int64
+	// EgressCost is the egress component of Cost (WAN bytes billed at the
+	// traversed sites' rates); Cost − EgressCost is leased VM time. Per-job
+	// accounting and the fair-share scheduler key off it.
+	EgressCost float64
 }
 
 // Options configures a Manager.
@@ -646,7 +654,7 @@ func (m *Manager) Transfer(req Request, onDone func(Result)) (*Handle, error) {
 		// Every chunk was already acknowledged before the interruption.
 		// Complete asynchronously so the Handle is returned before onDone
 		// fires, matching the normal callback ordering.
-		m.record(trace.NewTransferStart(m.sched.Now(), string(req.From), string(req.To), req.Size, req.Strategy.String()))
+		m.record(trace.NewTransferStart(m.sched.Now(), string(req.From), string(req.To), req.Size, req.Strategy.String()).WithJob(req.JobID))
 		if t.lm != nil {
 			t.lm.started.Inc()
 		}
@@ -664,7 +672,7 @@ func (m *Manager) Transfer(req Request, onDone func(Result)) (*Handle, error) {
 		m.freeRun(t)
 		return nil, err
 	}
-	m.record(trace.NewTransferStart(m.sched.Now(), string(req.From), string(req.To), req.Size, req.Strategy.String()))
+	m.record(trace.NewTransferStart(m.sched.Now(), string(req.From), string(req.To), req.Size, req.Strategy.String()).WithJob(req.JobID))
 	if t.lm != nil {
 		t.lm.started.Inc()
 		m.opt.Obs.Spans().Route(m.sched.Now(), string(req.From), string(req.To), len(t.lanes), t.id)
@@ -920,7 +928,7 @@ func (t *transferRun) fill() {
 		c := t.pendPop()
 		if c.attempts > 0 {
 			t.stats.Retransmits++
-			t.m.record(trace.NewRetransmit(t.m.sched.Now(), string(t.req.From), string(t.req.To), c.size, c.attempts))
+			t.m.record(trace.NewRetransmit(t.m.sched.Now(), string(t.req.From), string(t.req.To), c.size, c.attempts).WithJob(t.req.JobID))
 			if t.lm != nil {
 				t.lm.retransmits.Inc()
 			}
@@ -1029,7 +1037,7 @@ func (t *transferRun) requeue(c *chunk, from *lane) {
 				t.lanes = append(t.lanes, lanes...)
 				t.stats.Replans++
 				t.m.record(trace.NewReplan(t.m.sched.Now(), string(t.req.From), string(t.req.To),
-					t.stats.Replans, "self-heal"))
+					t.stats.Replans, "self-heal").WithJob(t.req.JobID))
 				if t.lm != nil {
 					t.lm.replans.Inc()
 				}
@@ -1149,7 +1157,7 @@ func (t *transferRun) replan() {
 		return // keep current lanes; the environment may recover
 	}
 	t.stats.Replans++
-	t.m.record(trace.NewReplan(t.m.sched.Now(), string(t.req.From), string(t.req.To), t.stats.Replans, t.req.Strategy.String()))
+	t.m.record(trace.NewReplan(t.m.sched.Now(), string(t.req.From), string(t.req.To), t.stats.Replans, t.req.Strategy.String()).WithJob(t.req.JobID))
 	if t.lm != nil {
 		t.lm.replans.Inc()
 		t.m.opt.Obs.Spans().Replan(t.m.sched.Now(), string(t.req.From), string(t.req.To), len(lanes), t.id)
@@ -1211,14 +1219,17 @@ func (t *transferRun) finish() {
 		}
 	}
 	topo := t.m.net.Topology()
+	egCost := 0.0
 	for _, idx := range eg {
 		if s := topo.Site(t.m.siteList[idx]); s != nil {
-			cost += cloud.EgressCost(s, t.egressAmt[idx])
+			egCost += cloud.EgressCost(s, t.egressAmt[idx])
 		}
 	}
+	cost += egCost
 	t.stats.Cost = cost
+	t.stats.EgressCost = egCost
 	t.m.record(trace.NewTransferDone(t.m.sched.Now(), string(t.req.From), string(t.req.To), t.stats.Bytes,
-		dur, t.req.Strategy.String()))
+		dur, t.req.Strategy.String()).WithJob(t.req.JobID))
 	if t.lm != nil {
 		t.lm.bytes.Add(t.stats.Bytes)
 		t.lm.seconds.Observe(dur.Seconds())
