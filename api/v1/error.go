@@ -1,0 +1,15 @@
+package apiv1
+
+// ErrorResponse is the structured error body every non-2xx /api/v1 response
+// carries. For job-spec validation failures (*core.SpecError) Field and
+// Reason are populated, so HTTP clients see the same typed error the CLI
+// sees, not a flattened message string.
+type ErrorResponse struct {
+	// Error is the human-readable message.
+	Error string `json:"error"`
+	// Field names the offending spec field for validation errors
+	// (e.g. "Sources[2].Rate"), empty otherwise.
+	Field string `json:"field,omitempty"`
+	// Reason is the validation failure detail for field errors.
+	Reason string `json:"reason,omitempty"`
+}

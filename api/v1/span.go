@@ -1,0 +1,26 @@
+package apiv1
+
+// Span is the wire form of one flight-recorder record, the element type of
+// GET /api/v1/timeline and `sageinspect -spans`. It is the decode-side twin
+// of internal/obs.Timeline.WriteJSON: the phase is the obs phase name
+// ("window_close", "estimate", "dispatch", "transfer", ...), start/dur are
+// virtual-time nanoseconds. A round-trip test in this package pins the two
+// against each other so the encoder and this type cannot drift.
+type Span struct {
+	Phase string `json:"phase"`
+	Site  string `json:"site,omitempty"`
+	Peer  string `json:"peer,omitempty"`
+	// StartNS/DurNS are virtual-time nanoseconds from the simulation epoch.
+	StartNS int64   `json:"start_ns"`
+	DurNS   int64   `json:"dur_ns"`
+	Bytes   int64   `json:"bytes,omitempty"`
+	Value   float64 `json:"value,omitempty"`
+	ID      uint64  `json:"id,omitempty"`
+}
+
+// TimelineDoc is the body of GET /api/v1/timeline: the retained spans
+// oldest-first plus how many older spans the bounded ring evicted.
+type TimelineDoc struct {
+	Spans   []Span `json:"spans"`
+	Dropped uint64 `json:"dropped"`
+}

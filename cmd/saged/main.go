@@ -1,0 +1,69 @@
+// Command saged is the SAGE control-plane daemon: it owns one simulated
+// world and serves the versioned /api/v1 HTTP surface for submitting,
+// inspecting, pausing, resuming and cancelling jobs while the simulation
+// runs, plus /metrics (Prometheus) and an append-only JSONL audit log.
+//
+//	saged -addr :8080 -audit audit.jsonl
+//	curl -X POST -d @examples/multijob/jobs.json localhost:8080/api/v1/jobs
+//	curl localhost:8080/api/v1/jobs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sage/internal/daemon"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7600", "HTTP listen address (use :0 for a random port)")
+	audit := flag.String("audit", "", "append-only JSONL audit log path (empty: no audit)")
+	speed := flag.Float64("speed", 0, "virtual seconds advanced per wall second (0: unlimited)")
+	quantum := flag.Duration("quantum", time.Second, "virtual-time slice between API safe points")
+	paused := flag.Bool("paused", false, "start with the virtual clock paused")
+	flag.Parse()
+
+	opt := daemon.Options{Speed: *speed, Quantum: *quantum, StartPaused: *paused}
+	var auditFile *os.File
+	if *audit != "" {
+		f, err := os.OpenFile(*audit, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "saged: %v\n", err)
+			os.Exit(1)
+		}
+		auditFile = f
+		opt.Audit = f
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saged: %v\n", err)
+		os.Exit(1)
+	}
+	d := daemon.New(opt)
+	srv := &http.Server{Handler: d.Handler()}
+	fmt.Printf("saged: listening on http://%s\n", ln.Addr())
+
+	errC := make(chan error, 1)
+	go func() { errC <- srv.Serve(ln) }()
+
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigC:
+		fmt.Printf("saged: %v, shutting down\n", sig)
+	case err := <-errC:
+		fmt.Fprintf(os.Stderr, "saged: %v\n", err)
+	}
+	srv.Close()
+	d.Stop()
+	if auditFile != nil {
+		auditFile.Close()
+	}
+}

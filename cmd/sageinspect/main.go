@@ -5,12 +5,14 @@
 //
 // With -timeline it additionally runs a representative streaming job with
 // the observability layer attached and exports the phase timeline as Chrome
-// trace_event JSON — load the file in chrome://tracing or Perfetto.
+// trace_event JSON — load the file in chrome://tracing or Perfetto. -spans
+// writes the same recording as the api/v1 span document the saged daemon
+// serves at /api/v1/timeline.
 //
 // Example:
 //
 //	sageinspect -hours 4 -target 8 -ref 1073741824
-//	sageinspect -hours 1 -timeline trace.json
+//	sageinspect -hours 1 -timeline trace.json -spans spans.json
 package main
 
 import (
@@ -38,6 +40,7 @@ func main() {
 		lanes    = flag.Int("lanes", 4, "parallel lane count for the catalog's parallel variant")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		timeline = flag.String("timeline", "", "run a demo job and write its Chrome trace_event timeline to this file")
+		spans    = flag.String("spans", "", "run a demo job and write its timeline as the api/v1 span JSON document to this file")
 	)
 	flag.Parse()
 
@@ -60,29 +63,57 @@ func main() {
 	par.Intr = 1
 	fmt.Println(introspect.CatalogTable(introspect.Catalog(e.Monitor, topo, par, *ref, *lanes)).String())
 
-	if *timeline != "" {
-		f, err := os.Create(*timeline)
-		if err != nil {
+	if *timeline != "" || *spans != "" {
+		chromeF := createOrDie(*timeline)
+		spansF := createOrDie(*spans)
+		// A nil *os.File must stay a nil io.Writer, not a typed-nil interface.
+		var chromeW, spansW io.Writer
+		if chromeF != nil {
+			chromeW = chromeF
+		}
+		if spansF != nil {
+			spansW = spansF
+		}
+		if err := exportTimeline(*seed, 5*time.Minute, chromeW, spansW); err != nil {
 			fmt.Fprintln(os.Stderr, "sageinspect:", err)
 			os.Exit(1)
 		}
-		if err := exportTimeline(*seed, 5*time.Minute, f); err != nil {
-			f.Close()
-			fmt.Fprintln(os.Stderr, "sageinspect:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "sageinspect:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("timeline written to %s\n", *timeline)
+		closeOrDie(chromeF, *timeline)
+		closeOrDie(spansF, *spans)
 	}
+}
+
+// closeOrDie flushes one export file and reports it.
+func closeOrDie(f *os.File, path string) {
+	if f == nil {
+		return
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "sageinspect:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("timeline written to %s\n", path)
+}
+
+// createOrDie opens path for writing, or returns nil for an empty path.
+func createOrDie(path string) *os.File {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sageinspect:", err)
+		os.Exit(1)
+	}
+	return f
 }
 
 // exportTimeline runs a representative three-source streaming job with the
 // observability layer attached and writes the recorded phase spans as Chrome
-// trace_event JSON.
-func exportTimeline(seed uint64, dur time.Duration, w io.Writer) error {
+// trace_event JSON (chrome) and/or the api/v1 span document (spans) — the
+// latter through the same codec the saged /api/v1/timeline endpoint uses.
+// Either writer may be nil.
+func exportTimeline(seed uint64, dur time.Duration, chrome, spans io.Writer) error {
 	ob := obs.NewObserver()
 	e := core.NewEngine(core.WithSeed(seed), core.WithObservability(ob))
 	e.DeployEverywhere(cloud.Medium, 8)
@@ -101,5 +132,15 @@ func exportTimeline(seed uint64, dur time.Duration, w io.Writer) error {
 	if _, err := e.Run(job, dur); err != nil {
 		return err
 	}
-	return ob.Timeline.WriteChromeTrace(w)
+	if chrome != nil {
+		if err := ob.Timeline.WriteChromeTrace(chrome); err != nil {
+			return err
+		}
+	}
+	if spans != nil {
+		if err := ob.Timeline.WriteJSON(spans); err != nil {
+			return err
+		}
+	}
+	return nil
 }

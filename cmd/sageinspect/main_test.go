@@ -5,11 +5,13 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	apiv1 "sage/api/v1"
 )
 
 func TestExportTimelineIsLoadableChromeTrace(t *testing.T) {
 	var b strings.Builder
-	if err := exportTimeline(1, 3*time.Minute, &b); err != nil {
+	if err := exportTimeline(1, 3*time.Minute, &b, nil); err != nil {
 		t.Fatal(err)
 	}
 	var doc struct {
@@ -35,10 +37,35 @@ func TestExportTimelineIsLoadableChromeTrace(t *testing.T) {
 	}
 }
 
+// TestExportSpansIsAPIv1Document pins the -spans output to the versioned
+// wire schema the saged daemon serves at /api/v1/timeline.
+func TestExportSpansIsAPIv1Document(t *testing.T) {
+	var b strings.Builder
+	if err := exportTimeline(1, 3*time.Minute, nil, &b); err != nil {
+		t.Fatal(err)
+	}
+	var doc apiv1.TimelineDoc
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("spans export is not a valid api/v1 timeline document: %v", err)
+	}
+	if len(doc.Spans) == 0 {
+		t.Fatal("no spans exported")
+	}
+	phases := map[string]bool{}
+	for _, s := range doc.Spans {
+		phases[s.Phase] = true
+	}
+	for _, want := range []string{"window_close", "transfer", "window"} {
+		if !phases[want] {
+			t.Fatalf("spans missing %q; have %v", want, phases)
+		}
+	}
+}
+
 func TestExportTimelineDeterministic(t *testing.T) {
 	render := func() string {
 		var b strings.Builder
-		if err := exportTimeline(7, 2*time.Minute, &b); err != nil {
+		if err := exportTimeline(7, 2*time.Minute, &b, nil); err != nil {
 			t.Fatal(err)
 		}
 		return b.String()

@@ -7,13 +7,17 @@
 //
 //	sagemon -hours 2 -every 30m -seed 3
 //	sagemon -hours 1 -metrics        # append the live metrics registry
+//	sagemon -hours 1 -serve :9090    # and expose GET /metrics while running
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"time"
 
 	"sage/internal/core"
@@ -27,29 +31,52 @@ func main() {
 		every   = flag.Duration("every", 30*time.Minute, "map print interval (virtual)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		metrics = flag.Bool("metrics", false, "print the live metrics registry (Prometheus text) with each map")
+		serve   = flag.String("serve", "", "serve GET /metrics (Prometheus text) at this address while the simulation runs, then until interrupted")
 	)
 	flag.Parse()
 
+	var ob *obs.Observer
+	if *metrics || *serve != "" {
+		ob = obs.NewObserver()
+	}
+	if *serve != "" {
+		// The registry is safe for concurrent readers, so the live scrape
+		// endpoint runs alongside the simulation — the same handler saged
+		// mounts at /metrics.
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sagemon:", err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", ob.Metrics.Handler())
+		go http.Serve(ln, mux)
+		fmt.Printf("sagemon: serving metrics at http://%s/metrics\n", ln.Addr())
+	}
+
 	total := time.Duration(*hours * float64(time.Hour))
-	if err := runMonitor(*seed, total, *every, *metrics, os.Stdout); err != nil {
+	if err := runMonitor(*seed, total, *every, ob, *metrics, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sagemon:", err)
 		os.Exit(1)
+	}
+	if *serve != "" {
+		fmt.Println("sagemon: simulation finished; still serving metrics (interrupt to exit)")
+		sigC := make(chan os.Signal, 1)
+		signal.Notify(sigC, os.Interrupt)
+		<-sigC
 	}
 }
 
 // runMonitor drives the simulation and writes the periodic throughput map —
-// and, when metrics is set, the live metric registry — to w.
-func runMonitor(seed uint64, total, every time.Duration, metrics bool, w io.Writer) error {
-	var ob *obs.Observer
-	if metrics {
-		ob = obs.NewObserver()
-	}
+// and, when printMetrics is set, the live metric registry — to w. ob may be
+// nil when no metrics consumer is attached.
+func runMonitor(seed uint64, total, every time.Duration, ob *obs.Observer, printMetrics bool, w io.Writer) error {
 	e := core.NewEngine(core.WithSeed(seed), core.WithObservability(ob))
 	for elapsed := time.Duration(0); elapsed < total; elapsed += every {
 		e.Sched.RunFor(every)
 		fmt.Fprintf(w, "t=%v\n", e.Sched.Now())
 		fmt.Fprintln(w, mapTable(e).String())
-		if metrics {
+		if printMetrics {
 			fmt.Fprintln(w, "-- live metrics --")
 			if err := ob.Metrics.WritePrometheus(w); err != nil {
 				return err

@@ -4,11 +4,13 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"sage/internal/obs"
 )
 
 func TestRunMonitorPrintsMapAndMetrics(t *testing.T) {
 	var b strings.Builder
-	if err := runMonitor(3, 20*time.Minute, 10*time.Minute, true, &b); err != nil {
+	if err := runMonitor(3, 20*time.Minute, 10*time.Minute, obs.NewObserver(), true, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -33,7 +35,7 @@ func TestRunMonitorPrintsMapAndMetrics(t *testing.T) {
 
 func TestRunMonitorWithoutMetricsIsQuiet(t *testing.T) {
 	var b strings.Builder
-	if err := runMonitor(3, 10*time.Minute, 10*time.Minute, false, &b); err != nil {
+	if err := runMonitor(3, 10*time.Minute, 10*time.Minute, nil, false, &b); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(b.String(), "live metrics") {

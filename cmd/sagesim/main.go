@@ -21,11 +21,16 @@
 //
 //	sagesim -jobs-file examples/multijob/jobs.json
 //
+// -report-json additionally writes the multi-job report as the versioned
+// api/v1 wire document — the same JSON the saged daemon serves at
+// /api/v1/report.
+//
 // -cpuprofile/-memprofile capture pprof profiles of the run, mirroring the
 // same flags on sagebench.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +43,7 @@ import (
 	"sage/internal/core"
 	"sage/internal/resilience"
 	"sage/internal/scenario"
+	"sage/internal/sched"
 	"sage/internal/stats"
 	"sage/internal/stream"
 	"sage/internal/trace"
@@ -57,6 +63,7 @@ func main() {
 	var (
 		scenarioPath = flag.String("scenario", "", "run a JSON scenario file instead of flag-built job")
 		jobsFile     = flag.String("jobs-file", "", "run a multi-job JSON scenario (a scenario file with a jobs roster) under the admission scheduler")
+		reportJSON   = flag.String("report-json", "", "with -jobs-file: also write the multi-job report as api/v1 JSON to this file (\"-\" for stdout)")
 
 		sources   = flag.String("sources", "NEU,WEU,SUS", "comma-separated source sites")
 		sink      = flag.String("sink", "NUS", "sink (meta-reducer) site")
@@ -113,11 +120,11 @@ func main() {
 	}()
 
 	if *jobsFile != "" {
-		runScenario(*jobsFile, true)
+		runScenario(*jobsFile, true, *reportJSON)
 		return
 	}
 	if *scenarioPath != "" {
-		runScenario(*scenarioPath, false)
+		runScenario(*scenarioPath, false, *reportJSON)
 		return
 	}
 
@@ -222,8 +229,10 @@ func main() {
 }
 
 // runScenario executes a declarative JSON scenario file. With requireJobs
-// (the -jobs-file path) the file must carry a multi-job roster.
-func runScenario(path string, requireJobs bool) {
+// (the -jobs-file path) the file must carry a multi-job roster. A non-empty
+// reportJSON additionally writes the multi-job report as the api/v1 wire
+// document — the same shape the saged daemon serves at /api/v1/report.
+func runScenario(path string, requireJobs bool, reportJSON string) {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sagesim: %v\n", err)
@@ -239,7 +248,7 @@ func runScenario(path string, requireJobs bool) {
 		fmt.Fprintf(os.Stderr, "sagesim: -jobs-file %s has no jobs roster\n", path)
 		os.Exit(1)
 	}
-	res, err := sc.Run()
+	res, err := scenario.Run(sc)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sagesim: %v\n", err)
 		os.Exit(1)
@@ -283,5 +292,32 @@ func runScenario(path string, requireJobs bool) {
 		tb.Add("VM-seconds", fmt.Sprintf("%.0f", m.TotalVMSeconds))
 		tb.Add("report fingerprint", fmt.Sprintf("%016x", m.Fingerprint()))
 		fmt.Println(tb.String())
+		if reportJSON != "" {
+			if err := writeReportJSON(reportJSON, m); err != nil {
+				fmt.Fprintf(os.Stderr, "sagesim: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
+	if reportJSON != "" && res.Multi == nil {
+		fmt.Fprintln(os.Stderr, "sagesim: -report-json needs a multi-job roster")
+		os.Exit(1)
+	}
+}
+
+// writeReportJSON encodes the multi-job report as the api/v1 wire document,
+// to stdout for "-" or to the named file.
+func writeReportJSON(path string, m *sched.MultiReport) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.Wire())
 }

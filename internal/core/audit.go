@@ -1,0 +1,47 @@
+package core
+
+import (
+	"time"
+
+	"sage/internal/cloud"
+	"sage/internal/simtime"
+)
+
+// TransferAudit is one planner decision and its outcome: the route and
+// sizing chosen for a partial's transfer, what the cost/time model predicted
+// for it at dispatch, and what the network actually delivered. The saged
+// audit log persists these rows; an optimizer can refit the model against
+// them offline.
+type TransferAudit struct {
+	// At is the virtual completion instant.
+	At simtime.Time
+	// JobID is the engine-assigned run id the transfer belongs to.
+	JobID    int
+	From, To cloud.SiteID
+	Strategy string
+	// Bytes is the dispatch size (the partial plus overhead); a resumed
+	// transfer may move fewer bytes on the wire.
+	Bytes int64
+	// Lanes is the lane count requested at dispatch (0: strategy default).
+	Lanes int
+	// Predicted* are frozen at dispatch: the monitor's throughput estimate
+	// and the model's time/cost for it at the dispatched lane count.
+	PredictedMBps float64
+	PredictedTime time.Duration
+	PredictedCost float64
+	// Actual* come from the transfer result.
+	ActualMBps float64
+	ActualTime time.Duration
+	ActualCost float64
+	NodesUsed  int
+	// Replans counts mid-transfer route replans the dynamic strategies did.
+	Replans int
+}
+
+// AuditSink receives one record per completed partial transfer. The engine
+// calls it synchronously on the simulation goroutine, in deterministic event
+// order; implementations must not re-enter the engine. A nil sink (the
+// default) costs nothing: no predictions are computed and no records built.
+type AuditSink interface {
+	TransferDone(TransferAudit)
+}

@@ -64,6 +64,8 @@ type Engine struct {
 	// is job 0, so single-job traces and metrics are indistinguishable from
 	// the pre-multi-job format.
 	nextJob int
+	// audit receives per-transfer predicted-vs-actual records (nil: off).
+	audit AuditSink
 }
 
 // Shards returns the engine's shard count (1 = fully sequential core).
@@ -119,6 +121,10 @@ type Options struct {
 	// subsystem (checkpointing at this interval) for every job started
 	// without its own Resilience config.
 	DefaultCheckpointInterval time.Duration
+	// Audit, when non-nil, receives one TransferDone record per completed
+	// partial transfer: the model's dispatch-time prediction next to the
+	// actual outcome. Nil disables auditing at zero cost.
+	Audit AuditSink
 	// Shards is the event-core shard count. With Shards > 1 the engine
 	// partitions per-source window processing across sites (site index mod
 	// Shards) and stages the pure half of each window — event generation,
@@ -161,7 +167,7 @@ func NewEngine(opts ...Option) *Engine {
 	e := &Engine{Sched: sched, Net: net, Monitor: mon, Mgr: mgr,
 		Params: opt.Params, Calib: NewCalibrator(), Trace: opt.Trace,
 		Obs: opt.Obs, met: newEngineMetrics(opt.Obs.Registry()),
-		defaultCkpt: opt.DefaultCheckpointInterval}
+		defaultCkpt: opt.DefaultCheckpointInterval, audit: opt.Audit}
 	if opt.Shards > 1 {
 		lookahead := simtime.Time(opt.Topology.MinWANRTT())
 		if lookahead <= 0 {
@@ -404,6 +410,9 @@ type JobRun struct {
 	live       []liveXfer
 	held       []heldShip
 	xferPaused bool
+	// cancelled marks a run withdrawn by Engine.CancelJob: its remaining
+	// window closes and ships become no-ops and it is Done immediately.
+	cancelled bool
 	// sink is the current meta-reducer site: JobSpec.Sink until a failover
 	// re-elects it.
 	sink cloud.SiteID
@@ -491,6 +500,20 @@ func (e *Engine) Wait(dur time.Duration, runs ...*JobRun) []*Report {
 		}
 	}
 	return out
+}
+
+// ValidateSpec reports the error Start would return for the spec — a
+// *SpecError for invalid fields — without starting anything. Control planes
+// use it to reject a bad job at submission time instead of poisoning the
+// scheduler at admission time.
+func (e *Engine) ValidateSpec(job JobSpec) error {
+	if err := job.withDefaults(); err != nil {
+		return err
+	}
+	if e.Net.Topology().Site(job.Sink) == nil {
+		return specErrorf("Sink", "unknown sink %q", job.Sink)
+	}
+	return nil
 }
 
 // Start schedules a job's window processing without driving the clock.
@@ -692,6 +715,11 @@ func (e *Engine) stageWindow(run *JobRun, s *sourceState, end simtime.Time) stag
 // the report and emit observability. It runs on the scheduler goroutine in
 // exact (time, sequence) order for any shard count.
 func (e *Engine) commitWindow(run *JobRun, s *sourceState, end simtime.Time, st stagedWindow) {
+	if run.cancelled {
+		// A cancelled run's remaining window closes are no-ops; expected was
+		// clamped to processed at cancel time, so Done stays true.
+		return
+	}
 	job := run.job
 	run.processed++
 	coveredCurrent := false
@@ -745,6 +773,9 @@ func (e *Engine) shipResume(run *JobRun, s *sourceState, cw stream.Closed, event
 	inflight := &run.inflight
 	sink := run.sink
 
+	if run.cancelled {
+		return
+	}
 	if run.xferPaused && run.guard == nil {
 		// The scheduler has preempted this job's transfers: park the ship
 		// (with its resume ledger, if any) and keep one provisional inflight
@@ -922,6 +953,32 @@ func (e *Engine) shipResume(run *JobRun, s *sourceState, cw stream.Closed, event
 		e.Obs.Spans().Dispatch(e.Sched.Now(), string(s.spec.Site), string(sink),
 			bytes, uint64(cw.Window.Start))
 	}
+	// Freeze the dispatch-time prediction for the audit trail. Estimate is a
+	// pure read and the model arithmetic touches no state, so runs with and
+	// without a sink are byte-identical.
+	var aud *TransferAudit
+	if e.audit != nil {
+		est, _ := e.Monitor.Estimate(s.spec.Site, sink)
+		if est <= 0 {
+			if l := e.Net.Topology().Link(s.spec.Site, sink); l != nil {
+				est = l.BaseMBps
+			}
+		}
+		if est <= 0 {
+			est = 1
+		}
+		n := req.Lanes
+		if n <= 0 {
+			n = 1
+		}
+		aud = &TransferAudit{
+			JobID: run.id, From: s.spec.Site, To: sink,
+			Strategy: job.Strategy.String(), Bytes: bytes, Lanes: req.Lanes,
+			PredictedMBps: est,
+			PredictedTime: e.Params.TransferTime(bytes, est, n),
+			PredictedCost: e.Params.Cost(bytes, est, n),
+		}
+	}
 	lanes := req.Lanes
 	var h *transfer.Handle
 	var err error
@@ -940,6 +997,15 @@ func (e *Engine) shipResume(run *JobRun, s *sourceState, cw stream.Closed, event
 			}
 		}
 		arrive(res.Duration, res.NodesUsed, res.Cost, res.EgressCost)
+		if aud != nil {
+			aud.At = e.Sched.Now()
+			aud.ActualMBps = res.MBps
+			aud.ActualTime = res.Duration
+			aud.ActualCost = res.Cost
+			aud.NodesUsed = res.NodesUsed
+			aud.Replans = res.Replans
+			e.audit.TransferDone(*aud)
+		}
 		// noteArrive (inside arrive) has dropped the guard's reference, so
 		// the run can return to the manager's pool for the next window.
 		e.Mgr.Recycle(h)

@@ -105,6 +105,45 @@ func (e *Engine) PauseJobTransfers(run *JobRun) int {
 	return n
 }
 
+// Cancelled reports whether CancelJob withdrew the run.
+func (r *JobRun) Cancelled() bool { return r.cancelled }
+
+// WindowsDone reports the number of globally completed windows so far —
+// live progress for status endpoints.
+func (r *JobRun) WindowsDone() int { return r.rep.Windows }
+
+// CancelJob withdraws a run in place: every in-flight acknowledged transfer
+// is aborted (Abort never fires the completion callback, so their dispatch
+// inflight counts are released by hand), held ships are dropped with the
+// provisional counts they own, and the run's remaining window closes become
+// no-ops. The run reads as Done immediately; its report is abandoned
+// wherever it was. Only non-resilient runs are cancellable — the scheduler
+// never starts resilient jobs.
+func (e *Engine) CancelJob(run *JobRun) {
+	if run.cancelled {
+		return
+	}
+	run.cancelled = true
+	for _, lx := range run.live {
+		e.Mgr.Abort(lx.h)
+		e.Mgr.Recycle(lx.h)
+		run.inflight--
+	}
+	for i := range run.live {
+		run.live[i] = liveXfer{}
+	}
+	run.live = run.live[:0]
+	// Each held ship owns exactly one provisional inflight count.
+	run.inflight -= len(run.held)
+	run.held = nil
+	run.xferPaused = false
+	// Future commitWindow calls return before counting, so clamping expected
+	// to processed makes Done() permanent (datagram sends of lossy jobs may
+	// keep inflight counts until they land; Done completes when they drain).
+	run.expected = run.processed
+	run.noteDone(e.Sched.Now())
+}
+
 // ResumeJobTransfers lifts a pause and replays every held ship in hold
 // order, resuming preempted transfers from their ledgers.
 func (e *Engine) ResumeJobTransfers(run *JobRun) {

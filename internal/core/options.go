@@ -49,6 +49,14 @@ func WithTrace(r *trace.Recorder) Option { return func(o *Options) { o.Trace = r
 // (the default) disables the layer with zero behavioral or allocation cost.
 func WithObservability(ob *obs.Observer) Option { return func(o *Options) { o.Obs = ob } }
 
+// WithAuditSink attaches a planner-decision audit sink: one TransferDone
+// record per completed partial transfer, carrying the predicted throughput,
+// time and cost frozen at dispatch next to the actual outcome. Nil (the
+// default) disables auditing at zero cost. The sink must not re-enter the
+// engine; predictions are computed from pure model/monitor reads, so the
+// simulation is byte-identical with and without a sink.
+func WithAuditSink(a AuditSink) Option { return func(o *Options) { o.Audit = a } }
+
 // WithShards sets the event-core shard count: n > 1 stages the pure half of
 // window processing concurrently across per-site shards under a conservative
 // lookahead barrier (minimum WAN RTT), with commits replayed in exact

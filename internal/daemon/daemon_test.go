@@ -1,0 +1,485 @@
+package daemon
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	apiv1 "sage/api/v1"
+	"sage/internal/scenario"
+)
+
+// testRoster is a three-job roster whose third job arrives far in the
+// future, so a paused daemon can cancel it before it ever touches the world.
+func testRoster() *apiv1.Roster {
+	job := func(name, tenant, site string, rate float64, arrival, dur time.Duration) apiv1.MultiJobConfig {
+		return apiv1.MultiJobConfig{
+			Name: name, Tenant: tenant,
+			Arrival: apiv1.Duration(arrival),
+			JobConfig: apiv1.JobConfig{
+				Sources:  []apiv1.SourceConfig{{Site: site, Rate: rate}},
+				Sink:     "NUS",
+				Window:   apiv1.Duration(30 * time.Second),
+				Agg:      "sum",
+				Strategy: "direct",
+				Lanes:    2,
+				Duration: apiv1.Duration(dur),
+			},
+		}
+	}
+	ros := &apiv1.Roster{
+		Name:    "daemon-e2e",
+		Seed:    7,
+		Weather: "calm",
+		Scheduler: &apiv1.SchedulerConfig{
+			MaxConcurrent: 2,
+			Policy:        "fifo",
+		},
+		Jobs: []apiv1.MultiJobConfig{
+			job("alpha", "a", "NEU", 400, 0, 2*time.Minute),
+			job("bravo", "b", "WEU", 400, 10*time.Second, 90*time.Second),
+			job("victim", "c", "SUS", 500, 10*time.Minute, 2*time.Minute),
+		},
+	}
+	// Route one job through the multipath planner so runs exercise (and the
+	// audit log captures) incremental route-planning activity.
+	ros.Jobs[1].Strategy = "multipath"
+	return ros
+}
+
+// startDaemon boots a paused daemon behind an httptest server.
+func startDaemon(t *testing.T, opt Options) (*Daemon, *httptest.Server) {
+	t.Helper()
+	d := New(opt)
+	ts := httptest.NewServer(d.Handler())
+	t.Cleanup(func() { ts.Close(); d.Stop() })
+	return d, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func doReq(t *testing.T, method, url string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// statusOf drains and closes a response, returning its status code.
+func statusOf(t *testing.T, resp *http.Response) int {
+	t.Helper()
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func submitRoster(t *testing.T, ts *httptest.Server, ros *apiv1.Roster) apiv1.SubmitResponse {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := apiv1.EncodeRoster(&buf, ros); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, b)
+	}
+	return decodeBody[apiv1.SubmitResponse](t, resp)
+}
+
+func setClock(t *testing.T, ts *httptest.Server, action string) apiv1.Clock {
+	t.Helper()
+	resp := postJSON(t, ts.URL+"/api/v1/clock", apiv1.ClockAction{Action: action})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clock %s: status %d", action, resp.StatusCode)
+	}
+	return decodeBody[apiv1.Clock](t, resp)
+}
+
+// pollReport polls GET /api/v1/report until the roster drains, scraping
+// /metrics along the way so the concurrent read paths run under -race.
+func pollReport(t *testing.T, ts *httptest.Server) apiv1.MultiReport {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if resp, err := http.Get(ts.URL + "/metrics"); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		resp, err := http.Get(ts.URL + "/api/v1/report")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			return decodeBody[apiv1.MultiReport](t, resp)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("report: status %d", resp.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("roster did not drain in time")
+	panic("unreachable")
+}
+
+// TestDaemonEndToEnd is the headline contract: submit a roster over HTTP,
+// cancel one job before its arrival, run the world live, and get a final
+// report whose fingerprint is byte-identical to a direct batch run of the
+// surviving roster.
+func TestDaemonEndToEnd(t *testing.T) {
+	auditPath := filepath.Join(t.TempDir(), "audit.jsonl")
+	auditFile, err := os.Create(auditPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ts := startDaemon(t, Options{StartPaused: true, Quantum: 5 * time.Second, Audit: auditFile})
+
+	sub := submitRoster(t, ts, testRoster())
+	if want := []string{"alpha", "bravo", "victim"}; fmt.Sprint(sub.Submitted) != fmt.Sprint(want) {
+		t.Fatalf("submitted %v, want %v", sub.Submitted, want)
+	}
+
+	// Paused clock: everything is still waiting to arrive.
+	l := decodeBody[apiv1.JobList](t, doReq(t, "GET", ts.URL+"/api/v1/jobs"))
+	if len(l.Jobs) != 3 {
+		t.Fatalf("got %d jobs", len(l.Jobs))
+	}
+	for _, j := range l.Jobs {
+		if j.State != "submitted" {
+			t.Fatalf("job %s state %q before resume", j.Name, j.State)
+		}
+	}
+
+	// Cancel the future job; it must never touch the simulation.
+	resp := doReq(t, "DELETE", ts.URL+"/api/v1/jobs/victim")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+	if st := decodeBody[apiv1.JobStatus](t, resp); st.State != "cancelled" {
+		t.Fatalf("victim state %q", st.State)
+	}
+
+	if c := setClock(t, ts, "resume"); c.Paused {
+		t.Fatal("clock still paused after resume")
+	}
+
+	rep := pollReport(t, ts)
+	if len(rep.Jobs) != 3 {
+		t.Fatalf("report has %d jobs", len(rep.Jobs))
+	}
+	for _, j := range rep.Jobs {
+		if j.Name == "victim" {
+			if !j.Cancelled || j.JobID != -1 || j.Report != nil {
+				t.Fatalf("victim row: %+v", j)
+			}
+		} else if j.Cancelled || j.Report == nil || j.Report.Windows == 0 {
+			t.Fatalf("surviving row %s: %+v", j.Name, j)
+		}
+	}
+
+	// The daemon-run world must be indistinguishable from a batch run of the
+	// roster that never contained the cancelled job.
+	surviving := testRoster()
+	surviving.Jobs = surviving.Jobs[:2]
+	res, err := scenario.Run(surviving)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf("%016x", res.Multi.Fingerprint()); rep.Fingerprint != want {
+		t.Fatalf("daemon fingerprint %s, batch fingerprint %s", rep.Fingerprint, want)
+	}
+
+	// The timeline endpoint serves decodable spans of the live run.
+	tl := decodeBody[apiv1.TimelineDoc](t, doReq(t, "GET", ts.URL+"/api/v1/timeline"))
+	if len(tl.Spans) == 0 {
+		t.Fatal("timeline is empty after a full run")
+	}
+
+	// A later roster joins the live world: the daemon accepts it, drives it
+	// to completion, and the report grows a row.
+	second := &apiv1.Roster{
+		Name: "late-joiner",
+		Jobs: []apiv1.MultiJobConfig{{
+			Name: "delta", Tenant: "d",
+			JobConfig: apiv1.JobConfig{
+				Sources:  []apiv1.SourceConfig{{Site: "NEU", Rate: 200}},
+				Sink:     "NUS",
+				Window:   apiv1.Duration(30 * time.Second),
+				Agg:      "mean",
+				Strategy: "envaware",
+				Duration: apiv1.Duration(time.Minute),
+			},
+		}},
+	}
+	if sub := submitRoster(t, ts, second); len(sub.Submitted) != 1 {
+		t.Fatalf("second submit: %v", sub.Submitted)
+	}
+	rep = pollReport(t, ts)
+	if len(rep.Jobs) != 4 {
+		t.Fatalf("report after late join has %d jobs", len(rep.Jobs))
+	}
+
+	ts.Close()
+	d.Stop()
+	auditFile.Close()
+	checkAuditLog(t, auditPath)
+}
+
+// checkAuditLog decodes every JSONL line through the apiv1 schema and checks
+// the log captured the API mutations, predicted-vs-actual transfer rows, and
+// planner activity of the run.
+func checkAuditLog(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	kinds := map[string]int{}
+	actions := map[string]int{}
+	sc := bufio.NewScanner(f)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		dec := json.NewDecoder(strings.NewReader(sc.Text()))
+		dec.DisallowUnknownFields()
+		var rec apiv1.AuditRecord
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatalf("audit line %d does not match the schema: %v\n%s", lines, err, sc.Text())
+		}
+		if rec.Wall == "" {
+			t.Fatalf("audit line %d has no wall timestamp", lines)
+		}
+		if _, err := time.Parse(time.RFC3339Nano, rec.Wall); err != nil {
+			t.Fatalf("audit line %d wall %q: %v", lines, rec.Wall, err)
+		}
+		kinds[rec.Kind]++
+		switch rec.Kind {
+		case apiv1.AuditAPI:
+			actions[rec.Action]++
+		case apiv1.AuditTransfer:
+			tr := rec.Transfer
+			if tr == nil {
+				t.Fatalf("audit line %d: transfer record without payload", lines)
+			}
+			if tr.PredictedMBps <= 0 || tr.PredictedTime <= 0 || tr.ActualMBps <= 0 || tr.ActualTime <= 0 {
+				t.Fatalf("audit line %d: missing prediction or outcome: %+v", lines, tr)
+			}
+			if tr.From == "" || tr.To == "" || tr.Bytes <= 0 || tr.Strategy == "" {
+				t.Fatalf("audit line %d: incomplete transfer row: %+v", lines, tr)
+			}
+		case apiv1.AuditPlanner:
+			if rec.Planner == nil {
+				t.Fatalf("audit line %d: planner record without payload", lines)
+			}
+		default:
+			t.Fatalf("audit line %d: unknown kind %q", lines, rec.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if kinds[apiv1.AuditTransfer] == 0 {
+		t.Fatal("no transfer audit rows")
+	}
+	if kinds[apiv1.AuditPlanner] == 0 {
+		t.Fatal("no planner audit rows")
+	}
+	for _, want := range []string{"submit", "cancel", "clock-resume", "shutdown"} {
+		if actions[want] == 0 {
+			t.Fatalf("no %q API audit row; have %v", want, actions)
+		}
+	}
+}
+
+// TestDaemonPauseResume holds one job with a manual pause while the rest of
+// the roster drains, then lifts it and drains the stragglers.
+func TestDaemonPauseResume(t *testing.T) {
+	_, ts := startDaemon(t, Options{StartPaused: true, Quantum: 5 * time.Second})
+	ros := testRoster()
+	ros.Jobs = ros.Jobs[:2] // alpha + bravo
+	submitRoster(t, ts, ros)
+
+	// Hold alpha before it arrives, then let the world run.
+	if code := statusOf(t, postJSON(t, ts.URL+"/api/v1/jobs/alpha/pause", struct{}{})); code != http.StatusOK {
+		t.Fatalf("pause: status %d", code)
+	}
+	setClock(t, ts, "resume")
+
+	// bravo drains while alpha is held out of admission.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("bravo did not finish while alpha was paused")
+		}
+		l := decodeBody[apiv1.JobList](t, doReq(t, "GET", ts.URL+"/api/v1/jobs"))
+		states := map[string]string{}
+		for _, j := range l.Jobs {
+			states[j.Name] = j.State
+		}
+		if states["alpha"] == "done" {
+			t.Fatal("paused job ran to completion")
+		}
+		if states["bravo"] == "done" {
+			if st := states["alpha"]; st != "paused" {
+				t.Fatalf("alpha state %q while held, want paused", st)
+			}
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if code := statusOf(t, postJSON(t, ts.URL+"/api/v1/jobs/alpha/resume", struct{}{})); code != http.StatusOK {
+		t.Fatalf("resume: status %d", code)
+	}
+	rep := pollReport(t, ts)
+	for _, j := range rep.Jobs {
+		if j.Cancelled || j.Report == nil {
+			t.Fatalf("job %s did not finish: %+v", j.Name, j)
+		}
+	}
+}
+
+// TestDaemonErrorMapping pins the API's typed error surface: SpecErrors are
+// structured 400s, unknown jobs 404, finished jobs and duplicates 409.
+func TestDaemonErrorMapping(t *testing.T) {
+	_, ts := startDaemon(t, Options{StartPaused: true})
+
+	// Malformed body.
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Mutations and reports before any roster exists.
+	if code := statusOf(t, doReq(t, "DELETE", ts.URL+"/api/v1/jobs/alpha")); code != http.StatusNotFound {
+		t.Fatalf("cancel before roster: status %d", code)
+	}
+	if code := statusOf(t, doReq(t, "GET", ts.URL+"/api/v1/report")); code != http.StatusConflict {
+		t.Fatalf("report before roster: status %d", code)
+	}
+
+	// A roster with an unknown sink is rejected as a structured 400 naming
+	// the spec field — the same typed error the CLI prints.
+	bad := testRoster()
+	bad.Jobs[1].Sink = "NOWHERE"
+	var buf bytes.Buffer
+	if err := apiv1.EncodeRoster(&buf, bad); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/api/v1/jobs", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad sink: status %d", resp.StatusCode)
+	}
+	er := decodeBody[apiv1.ErrorResponse](t, resp)
+	if er.Field != "Sink" || er.Reason == "" {
+		t.Fatalf("bad sink error not structured: %+v", er)
+	}
+
+	// Atomic rejection: the two valid jobs of the bad roster submitted
+	// nothing.
+	l := decodeBody[apiv1.JobList](t, doReq(t, "GET", ts.URL+"/api/v1/jobs"))
+	if len(l.Jobs) != 0 {
+		t.Fatalf("rejected roster leaked %d jobs", len(l.Jobs))
+	}
+
+	// A good roster, then the typed control-flow errors.
+	submitRoster(t, ts, testRoster())
+	if code := statusOf(t, doReq(t, "DELETE", ts.URL+"/api/v1/jobs/ghost")); code != http.StatusNotFound {
+		t.Fatalf("cancel unknown: status %d", code)
+	}
+	if code := statusOf(t, doReq(t, "DELETE", ts.URL+"/api/v1/jobs/victim")); code != http.StatusOK {
+		t.Fatalf("cancel: status %d", code)
+	}
+	// Pausing a cancelled job is a conflict.
+	if code := statusOf(t, postJSON(t, ts.URL+"/api/v1/jobs/victim/pause", struct{}{})); code != http.StatusConflict {
+		t.Fatalf("pause cancelled: status %d", code)
+	}
+	// Cancelling twice is idempotent.
+	if code := statusOf(t, doReq(t, "DELETE", ts.URL+"/api/v1/jobs/victim")); code != http.StatusOK {
+		t.Fatalf("re-cancel: status %d", code)
+	}
+	// Resubmitting a live name is a conflict.
+	dup := testRoster()
+	dup.Jobs = dup.Jobs[:1]
+	var buf2 bytes.Buffer
+	if err := apiv1.EncodeRoster(&buf2, dup); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/api/v1/jobs", "application/json", &buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate name: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Bad clock action.
+	if code := statusOf(t, postJSON(t, ts.URL+"/api/v1/clock", apiv1.ClockAction{Action: "warp"})); code != http.StatusBadRequest {
+		t.Fatalf("bad clock action: status %d", code)
+	}
+}
+
+// TestDaemonStopRejectsAPI pins the 503 after shutdown.
+func TestDaemonStopRejectsAPI(t *testing.T) {
+	d := New(Options{StartPaused: true})
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+	d.Stop()
+	resp := doReq(t, "GET", ts.URL+"/api/v1/jobs")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("after Stop: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

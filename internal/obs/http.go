@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// First-class HTTP surfaces for the observability layer: the saged daemon
+// mounts these on /metrics and /api/v1/timeline, and the sagemon/sageinspect
+// CLIs reuse them, so there is exactly one encoder per format in the repo.
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// exposition format — byte-identical to WritePrometheus. A nil registry
+// serves an empty exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if r != nil {
+			r.WritePrometheus(w)
+		}
+	})
+}
+
+// wireSpan is the JSON shape of one span on the wire: phase as its name,
+// start/dur as virtual-time nanoseconds. apiv1.Span is the decode-side twin;
+// a test in api/v1 pins the two against each other.
+type wireSpan struct {
+	Phase   string  `json:"phase"`
+	Site    string  `json:"site,omitempty"`
+	Peer    string  `json:"peer,omitempty"`
+	StartNS int64   `json:"start_ns"`
+	DurNS   int64   `json:"dur_ns"`
+	Bytes   int64   `json:"bytes,omitempty"`
+	Value   float64 `json:"value,omitempty"`
+	ID      uint64  `json:"id,omitempty"`
+}
+
+// WriteJSON writes the retained spans oldest-first as one JSON document
+// {"spans": [...], "dropped": N}. Nil timelines write an empty document.
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Spans   []wireSpan `json:"spans"`
+		Dropped uint64     `json:"dropped"`
+	}{Spans: []wireSpan{}}
+	if t != nil {
+		for _, s := range t.Snapshot() {
+			doc.Spans = append(doc.Spans, wireSpan{
+				Phase: s.Phase.String(), Site: s.Site, Peer: s.Peer,
+				StartNS: int64(s.Start), DurNS: int64(s.Dur),
+				Bytes: s.Bytes, Value: s.Value, ID: s.ID,
+			})
+		}
+		doc.Dropped = t.Dropped()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Handler returns an http.Handler serving the timeline as the WriteJSON
+// document. A nil timeline serves an empty document.
+func (t *Timeline) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		t.WriteJSON(w)
+	})
+}

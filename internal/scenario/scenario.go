@@ -1,16 +1,18 @@
-// Package scenario provides a declarative, JSON-encodable description of a
-// complete SAGE run — topology overrides, deployments, a streaming job or a
-// gather, and fault injections — so experiments can be written as config
-// files and replayed bit-for-bit. This is the integration surface a
-// downstream user scripts against: `sagesim -scenario run.json`.
+// Package scenario gives the declarative run description (apiv1.Roster) its
+// semantics: validation, world construction, and execution. The wire types
+// themselves live in api/v1 — one codec shared by config files, the sagesim
+// CLI and the saged HTTP API — and this package re-exports them under their
+// historical names, so `scenario.Scenario` and `apiv1.Roster` are the same
+// type. This is the integration surface a downstream user scripts against:
+// `sagesim -scenario run.json`, or `curl -d @run.json saged/api/v1/jobs`.
 package scenario
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"time"
 
+	apiv1 "sage/api/v1"
 	"sage/internal/cloud"
 	"sage/internal/core"
 	"sage/internal/netsim"
@@ -22,136 +24,26 @@ import (
 	"sage/internal/workload"
 )
 
-// Duration wraps time.Duration with human-readable JSON ("30s", "5m").
-type Duration time.Duration
-
-// MarshalJSON implements json.Marshaler.
-func (d Duration) MarshalJSON() ([]byte, error) {
-	return json.Marshal(time.Duration(d).String())
-}
-
-// UnmarshalJSON implements json.Unmarshaler.
-func (d *Duration) UnmarshalJSON(b []byte) error {
-	var s string
-	if err := json.Unmarshal(b, &s); err != nil {
-		return err
-	}
-	v, err := time.ParseDuration(s)
-	if err != nil {
-		return fmt.Errorf("scenario: bad duration %q: %w", s, err)
-	}
-	*d = Duration(v)
-	return nil
-}
-
-// Scenario is a complete run description.
-type Scenario struct {
-	// Name labels the run in reports.
-	Name string `json:"name"`
-	// Seed drives all randomness (default 1).
-	Seed uint64 `json:"seed,omitempty"`
-	// Topology selects the cloud map: "default" (6 EU/US sites) or
-	// "world" (9 sites incl. Asia and Brazil).
-	Topology string `json:"topology,omitempty"`
-	// Weather selects link variability: "default", "calm" (no glitches)
-	// or "rough" (frequent deep glitches).
-	Weather string `json:"weather,omitempty"`
-	// CrossTraffic enables background tenant flows with the given mean
-	// inter-arrival gap per link (e.g. "30s"). Empty disables.
-	CrossTraffic Duration `json:"cross_traffic,omitempty"`
-	// Workers deploys VMs: class name -> count per site (default
-	// {"Medium": 8}).
-	Workers map[string]int `json:"workers,omitempty"`
-	// Job describes the streaming job (exactly one of Job/Gather/Jobs).
-	Job *JobConfig `json:"job,omitempty"`
-	// Gather describes a file-collection run.
-	Gather *GatherConfig `json:"gather,omitempty"`
-	// Jobs describes a multi-job roster run under the admission scheduler:
-	// every job shares one world and contends for links and VM slots.
-	Jobs []MultiJobConfig `json:"jobs,omitempty"`
-	// Scheduler configures admission for a Jobs roster.
-	Scheduler *SchedulerConfig `json:"scheduler,omitempty"`
-	// Injections are timed faults.
-	Injections []Injection `json:"injections,omitempty"`
-	// Warmup is monitoring time before the workload (default 1m).
-	Warmup Duration `json:"warmup,omitempty"`
-}
-
-// JobConfig mirrors core.JobSpec declaratively.
-type JobConfig struct {
-	Sources  []SourceConfig `json:"sources"`
-	Sink     string         `json:"sink"`
-	Window   Duration       `json:"window"`
-	Agg      string         `json:"agg"`      // count|sum|mean|min|max
-	Strategy string         `json:"strategy"` // direct|parallel|envaware|widest|multipath
-	Lanes    int            `json:"lanes,omitempty"`
-	Intr     float64        `json:"intrusiveness,omitempty"`
-	ShipRaw  bool           `json:"ship_raw,omitempty"`
-	Budget   float64        `json:"budget_per_window,omitempty"`
-	Deadline Duration       `json:"deadline_per_window,omitempty"`
-	Duration Duration       `json:"duration"`
-	// CheckpointInterval enables the resilience subsystem: operator state
-	// checkpoints at this virtual-time interval, site failures are detected
-	// by heartbeat and recovered by replay/failover. Empty disables.
-	CheckpointInterval Duration `json:"checkpoint_interval,omitempty"`
-}
-
-// MultiJobConfig is one roster entry: a streaming job plus the scheduling
-// metadata the admission queue orders it by.
-type MultiJobConfig struct {
-	JobConfig
-	// Name labels the job in the multi-job report (default "jobN").
-	Name string `json:"name,omitempty"`
-	// Tenant groups jobs for fair-share accounting (default: the name).
-	Tenant string `json:"tenant,omitempty"`
-	// Priority orders admission classes; with scheduler.preempt a running
-	// high-priority job pauses lower-priority jobs' transfers.
-	Priority int `json:"priority,omitempty"`
-	// Arrival is the submission instant, offset from scheduler start.
-	Arrival Duration `json:"arrival,omitempty"`
-}
-
-// SchedulerConfig mirrors sched.Options declaratively.
-type SchedulerConfig struct {
-	MaxConcurrent int      `json:"max_concurrent,omitempty"`
-	Policy        string   `json:"policy,omitempty"` // fifo|fair|sjf
-	Tick          Duration `json:"tick,omitempty"`
-	Preempt       bool     `json:"preempt,omitempty"`
-}
-
-// SourceConfig declares one event source.
-type SourceConfig struct {
-	Site string  `json:"site"`
-	Rate float64 `json:"rate"` // events/second
-	Keys int     `json:"keys,omitempty"`
-	Skew float64 `json:"skew,omitempty"`
-	// DiurnalAmplitude, when > 0, modulates the rate over a 24h period.
-	DiurnalAmplitude float64 `json:"diurnal_amplitude,omitempty"`
-}
-
-// GatherConfig mirrors core.GatherSpec declaratively.
-type GatherConfig struct {
-	Sites     []string `json:"sites"`
-	Files     int      `json:"files"`
-	FileBytes int64    `json:"file_bytes"`
-	Sink      string   `json:"sink"`
-	Strategy  string   `json:"strategy"`
-	Lanes     int      `json:"lanes,omitempty"`
-	Intr      float64  `json:"intrusiveness,omitempty"`
-}
-
-// Injection is a timed fault.
-type Injection struct {
-	At Duration `json:"at"`
-	// Kind: "link_scale" (scale From->To by Factor), "kill_node" (kill the
-	// Nth worker of site From), "restore_node", "kill_site" (fail every
-	// worker at site From), "restore_site".
-	Kind   string  `json:"kind"`
-	From   string  `json:"from"`
-	To     string  `json:"to,omitempty"`
-	Factor float64 `json:"factor,omitempty"`
-	Node   int     `json:"node,omitempty"`
-}
+// The declarative types are the api/v1 wire types; these aliases keep the
+// historical scenario.* names working.
+type (
+	// Scenario is a complete run description (apiv1.Roster).
+	Scenario = apiv1.Roster
+	// Duration wraps time.Duration with human-readable JSON.
+	Duration = apiv1.Duration
+	// JobConfig mirrors core.JobSpec declaratively.
+	JobConfig = apiv1.JobConfig
+	// MultiJobConfig is one roster entry with scheduling metadata.
+	MultiJobConfig = apiv1.MultiJobConfig
+	// SchedulerConfig mirrors sched.Options declaratively.
+	SchedulerConfig = apiv1.SchedulerConfig
+	// SourceConfig declares one event source.
+	SourceConfig = apiv1.SourceConfig
+	// GatherConfig mirrors core.GatherSpec declaratively.
+	GatherConfig = apiv1.GatherConfig
+	// Injection is a timed fault.
+	Injection = apiv1.Injection
+)
 
 var aggKinds = map[string]stream.AggKind{
 	"count": stream.Count, "sum": stream.Sum, "mean": stream.Mean,
@@ -168,22 +60,20 @@ var classes = map[string]cloud.VMClass{
 	"Small": cloud.Small, "Medium": cloud.Medium, "XLarge": cloud.XLarge,
 }
 
-// Load parses a scenario from JSON.
+// Load parses and validates a scenario from JSON.
 func Load(r io.Reader) (*Scenario, error) {
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	var s Scenario
-	if err := dec.Decode(&s); err != nil {
+	s, err := apiv1.DecodeRoster(r)
+	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
-	if err := s.Validate(); err != nil {
+	if err := Validate(s); err != nil {
 		return nil, err
 	}
-	return &s, nil
+	return s, nil
 }
 
 // Validate checks the scenario's internal consistency.
-func (s *Scenario) Validate() error {
+func Validate(s *Scenario) error {
 	modes := 0
 	for _, set := range []bool{s.Job != nil, s.Gather != nil, len(s.Jobs) > 0} {
 		if set {
@@ -212,7 +102,7 @@ func (s *Scenario) Validate() error {
 		}
 	}
 	if s.Job != nil {
-		if err := s.validateJob(s.Job, "job"); err != nil {
+		if err := validateJob(s, s.Job, "job"); err != nil {
 			return err
 		}
 	}
@@ -222,7 +112,7 @@ func (s *Scenario) Validate() error {
 		if label == "" {
 			label = fmt.Sprintf("jobs[%d]", i)
 		}
-		if err := s.validateJob(&mj.JobConfig, label); err != nil {
+		if err := validateJob(s, &mj.JobConfig, label); err != nil {
 			return err
 		}
 		if mj.Arrival < 0 {
@@ -246,11 +136,11 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("scenario %q: unknown strategy %q", s.Name, g.Strategy)
 		}
 	}
-	return s.validateInjections()
+	return validateInjections(s)
 }
 
 // validateJob checks one job config, labelled for error messages.
-func (s *Scenario) validateJob(j *JobConfig, label string) error {
+func validateJob(s *Scenario, j *JobConfig, label string) error {
 	if len(j.Sources) == 0 || j.Sink == "" || j.Window <= 0 || j.Duration <= 0 {
 		return fmt.Errorf("scenario %q: %s needs sources, sink, window, duration", s.Name, label)
 	}
@@ -263,7 +153,7 @@ func (s *Scenario) validateJob(j *JobConfig, label string) error {
 	return nil
 }
 
-func (s *Scenario) validateInjections() error {
+func validateInjections(s *Scenario) error {
 	for i, inj := range s.Injections {
 		switch inj.Kind {
 		case "link_scale":
@@ -289,12 +179,13 @@ type Result struct {
 	Multi  *sched.MultiReport // for multi-job rosters
 }
 
-// Run builds an engine, applies deployments and injections, executes the
-// workload, and returns the outcome.
-func (s *Scenario) Run() (*Result, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
+// BuildEngine constructs the scenario's world: engine options from the
+// topology/weather/cross-traffic presets, worker deployments, the monitor
+// warm-up, and the timed fault injections. Extra engine options (tracing,
+// observability, an audit sink) compose on top. Run uses it; so does the
+// saged daemon, which builds its world from the first posted roster through
+// this exact path so daemon runs and batch runs are bit-identical.
+func BuildEngine(s *Scenario, extra ...core.Option) *core.Engine {
 	seed := s.Seed
 	if seed == 0 {
 		seed = 1
@@ -315,7 +206,8 @@ func (s *Scenario) Run() (*Result, error) {
 	if s.CrossTraffic > 0 {
 		opt.Net.CrossTrafficMeanGap = time.Duration(s.CrossTraffic)
 	}
-	e := core.NewEngine(core.WithOptions(opt))
+	opts := append([]core.Option{core.WithOptions(opt)}, extra...)
+	e := core.NewEngine(opts...)
 	workers := s.Workers
 	if len(workers) == 0 {
 		workers = map[string]int{"Medium": 8}
@@ -335,10 +227,19 @@ func (s *Scenario) Run() (*Result, error) {
 		inj := inj
 		e.Sched.After(time.Duration(inj.At), func() { applyInjection(e, inj) })
 	}
+	return e
+}
 
+// Run builds an engine, applies deployments and injections, executes the
+// workload, and returns the outcome.
+func Run(s *Scenario) (*Result, error) {
+	if err := Validate(s); err != nil {
+		return nil, err
+	}
+	e := BuildEngine(s)
 	res := &Result{Name: s.Name}
 	if s.Job != nil {
-		job, err := s.buildJob(s.Job, "scenario/")
+		job, err := BuildJob(s.Seed, s.Job, "scenario/")
 		if err != nil {
 			return nil, err
 		}
@@ -350,7 +251,7 @@ func (s *Scenario) Run() (*Result, error) {
 		return res, nil
 	}
 	if len(s.Jobs) > 0 {
-		m, err := s.runJobs(e)
+		m, err := runJobs(s, e)
 		if err != nil {
 			return nil, err
 		}
@@ -376,49 +277,65 @@ func (s *Scenario) Run() (*Result, error) {
 	return res, nil
 }
 
+// SchedOptions converts a declarative scheduler block into sched.Options.
+// A nil config yields the defaults. The policy name must have passed
+// Validate; unknown names degrade to the default policy.
+func SchedOptions(c *SchedulerConfig) sched.Options {
+	if c == nil {
+		return sched.Options{}
+	}
+	pol, _ := sched.ByName(c.Policy)
+	return sched.Options{
+		MaxConcurrent: c.MaxConcurrent,
+		Policy:        pol,
+		Tick:          time.Duration(c.Tick),
+		Preempt:       c.Preempt,
+	}
+}
+
+// BuildSchedJob converts one roster entry into the scheduler's JobSpec,
+// applying the roster seed to the entry's generators. idx names anonymous
+// entries ("jobN") and must be the entry's roster position so names are
+// stable across codecs.
+func BuildSchedJob(seed uint64, mj *MultiJobConfig, idx int) (sched.JobSpec, error) {
+	name := mj.Name
+	if name == "" {
+		name = fmt.Sprintf("job%d", idx)
+	}
+	spec, err := BuildJob(seed, &mj.JobConfig, "scenario/"+name+"/")
+	if err != nil {
+		return sched.JobSpec{}, err
+	}
+	return sched.JobSpec{
+		Name:     name,
+		Tenant:   mj.Tenant,
+		Priority: mj.Priority,
+		Arrival:  time.Duration(mj.Arrival),
+		Duration: time.Duration(mj.Duration),
+		Spec:     *spec,
+	}, nil
+}
+
 // runJobs submits the roster to the admission scheduler and drives it to
 // completion on the shared engine.
-func (s *Scenario) runJobs(e *core.Engine) (*sched.MultiReport, error) {
-	opt := sched.Options{}
-	if c := s.Scheduler; c != nil {
-		pol, _ := sched.ByName(c.Policy) // Validate rejected unknown names
-		opt = sched.Options{
-			MaxConcurrent: c.MaxConcurrent,
-			Policy:        pol,
-			Tick:          time.Duration(c.Tick),
-			Preempt:       c.Preempt,
-		}
-	}
-	sc := sched.New(e, opt)
+func runJobs(s *Scenario, e *core.Engine) (*sched.MultiReport, error) {
+	sc := sched.New(e, SchedOptions(s.Scheduler))
 	for i := range s.Jobs {
-		mj := &s.Jobs[i]
-		name := mj.Name
-		if name == "" {
-			name = fmt.Sprintf("job%d", i)
-		}
-		spec, err := s.buildJob(&mj.JobConfig, "scenario/"+name+"/")
+		spec, err := BuildSchedJob(s.Seed, &s.Jobs[i], i)
 		if err != nil {
 			return nil, err
 		}
-		if err := sc.Submit(sched.JobSpec{
-			Name:     name,
-			Tenant:   mj.Tenant,
-			Priority: mj.Priority,
-			Arrival:  time.Duration(mj.Arrival),
-			Duration: time.Duration(mj.Duration),
-			Spec:     *spec,
-		}); err != nil {
+		if err := sc.Submit(spec); err != nil {
 			return nil, err
 		}
 	}
 	return sc.Run()
 }
 
-// buildJob converts a declarative job config into a core spec. genPrefix
+// BuildJob converts a declarative job config into a core spec. genPrefix
 // namespaces the workload generator streams so every roster job draws an
-// independent deterministic event sequence.
-func (s *Scenario) buildJob(j *JobConfig, genPrefix string) (*core.JobSpec, error) {
-	seed := s.Seed
+// independent deterministic event sequence; seed 0 means the default seed 1.
+func BuildJob(seed uint64, j *JobConfig, genPrefix string) (*core.JobSpec, error) {
 	if seed == 0 {
 		seed = 1
 	}

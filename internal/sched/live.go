@@ -1,0 +1,265 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sage/internal/simtime"
+)
+
+// This file is the scheduler's live control surface: the daemon-facing
+// operations that mutate or inspect a roster while the simulation runs.
+// Everything here must be called from the simulation goroutine (the saged
+// daemon funnels HTTP mutations through its mailbox to guarantee that).
+
+// Open starts the scheduler in live mode for a driver that owns the clock:
+// arrivals for every job submitted so far are scheduled and the admission
+// tick installed, then Open returns without advancing virtual time. Further
+// Submits stay legal and take effect Arrival after the submission instant.
+// The caller drives e.Sched and reads progress through Status, Done and
+// Report. Run and Open are mutually exclusive.
+func (s *Scheduler) Open() error {
+	if s.started {
+		return errors.New("sched: Open after Run or Open")
+	}
+	s.started = true
+	s.live = true
+	// Arrivals before the ticker, mirroring Run: a live roster replays the
+	// exact event order a batch Run of the same roster would produce.
+	for _, j := range s.jobs {
+		j := j
+		j.arrivalEv = s.e.Sched.After(j.spec.Arrival, func() { s.arrive(j) })
+	}
+	s.ticker = s.e.Sched.NewTicker(s.opt.Tick, func(now simtime.Time) { s.Step(now) })
+	return nil
+}
+
+// Close stops the live admission tick. Only meaningful after Open.
+func (s *Scheduler) Close() {
+	if s.ticker != nil {
+		s.ticker.Stop()
+		s.ticker = nil
+	}
+}
+
+// Sentinel errors of the control operations, matchable with errors.Is.
+var (
+	// ErrUnknownJob reports a name no submitted job carries.
+	ErrUnknownJob = errors.New("unknown job")
+	// ErrJobFinished reports a control operation on a job that already
+	// finished or was cancelled.
+	ErrJobFinished = errors.New("job already finished")
+)
+
+// Has reports whether a job with the name was ever submitted.
+func (s *Scheduler) Has(name string) bool { return s.byName[name] != nil }
+
+// Jobs returns the number of submitted jobs (any state).
+func (s *Scheduler) Jobs() int { return len(s.jobs) }
+
+// find resolves a job name for the control operations.
+func (s *Scheduler) find(name string) (*job, error) {
+	j := s.byName[name]
+	if j == nil {
+		return nil, fmt.Errorf("sched: %w %q", ErrUnknownJob, name)
+	}
+	return j, nil
+}
+
+// Cancel withdraws a job. A job cancelled before its arrival never touches
+// the world — the surviving roster runs byte-identically to a roster that
+// never contained it. A queued job leaves the admission queue; a running
+// job's transfers are aborted through the ledger machinery and its slot
+// freed for the next pending job. Cancelling a finished job is an error;
+// cancelling twice is a no-op. Admission charges already made to the
+// job's tenant are not refunded.
+func (s *Scheduler) Cancel(name string) error {
+	j, err := s.find(name)
+	if err != nil {
+		return err
+	}
+	now := s.e.Sched.Now()
+	switch j.state {
+	case jobCancelled:
+		return nil
+	case jobDone:
+		return fmt.Errorf("sched: %w: %q", ErrJobFinished, name)
+	case jobSubmitted:
+		s.e.Sched.Cancel(j.arrivalEv)
+	case jobQueued:
+		for i, p := range s.pending {
+			if p == j {
+				s.pending = append(s.pending[:i], s.pending[i+1:]...)
+				break
+			}
+		}
+	case jobRunning:
+		s.e.CancelJob(j.run)
+		for i, r := range s.running {
+			if r == j {
+				s.running = append(s.running[:i], s.running[i+1:]...)
+				break
+			}
+		}
+	}
+	if j.manual {
+		s.manualPauses--
+	}
+	j.manual, j.paused = false, false
+	j.state = jobCancelled
+	j.finishedAt = now
+	s.Step(now) // a freed slot admits the next pending job immediately
+	return nil
+}
+
+// Pause suspends a job: a running job's in-flight transfers are aborted
+// with their ledgers kept and subsequent ships parked; a queued or
+// not-yet-arrived job is held out of admission. Pausing a paused job is a
+// no-op; pausing a finished or cancelled job is an error.
+func (s *Scheduler) Pause(name string) error {
+	j, err := s.find(name)
+	if err != nil {
+		return err
+	}
+	switch j.state {
+	case jobDone, jobCancelled:
+		return fmt.Errorf("sched: %w: %q", ErrJobFinished, name)
+	}
+	if j.manual {
+		return nil
+	}
+	j.manual = true
+	s.manualPauses++
+	if j.state == jobRunning && !j.paused {
+		j.paused = true
+		s.e.PauseJobTransfers(j.run)
+	}
+	return nil
+}
+
+// Resume lifts a manual pause: a running job replays its held transfers
+// from their ledgers (unless priority preemption still demands the pause);
+// a held queued job becomes admissible again. Resuming an unpaused job is a
+// no-op; resuming a finished or cancelled job is an error.
+func (s *Scheduler) Resume(name string) error {
+	j, err := s.find(name)
+	if err != nil {
+		return err
+	}
+	switch j.state {
+	case jobDone, jobCancelled:
+		return fmt.Errorf("sched: %w: %q", ErrJobFinished, name)
+	}
+	if !j.manual {
+		return nil
+	}
+	j.manual = false
+	s.manualPauses--
+	now := s.e.Sched.Now()
+	if j.state == jobRunning && j.paused && !s.opt.Preempt {
+		// With preemption on, the reconcile inside Step decides whether the
+		// job may actually run; without it the manual pause was the only
+		// reason to hold the transfers.
+		j.paused = false
+		s.e.ResumeJobTransfers(j.run)
+	}
+	s.Step(now)
+	return nil
+}
+
+// JobStatus is one read-only snapshot row of a job's live state.
+type JobStatus struct {
+	Name     string
+	Tenant   string
+	Priority int
+	// State is submitted|queued|running|paused|done|cancelled.
+	State string
+	// JobID is the engine-assigned id, -1 until the job is admitted.
+	JobID                       int
+	Arrived, Admitted, Finished time.Duration
+	EstDuration                 time.Duration
+	EstEgress                   float64
+	Preemptions                 int
+	// Windows/Cost/Egress are the job's completed windows and spend so far
+	// at the snapshot instant.
+	Windows int
+	Cost    float64
+	Egress  float64
+}
+
+func (j *job) stateString() string {
+	switch j.state {
+	case jobSubmitted:
+		return "submitted"
+	case jobQueued:
+		if j.manual {
+			return "paused"
+		}
+		return "queued"
+	case jobRunning:
+		if j.paused {
+			return "paused"
+		}
+		return "running"
+	case jobDone:
+		return "done"
+	default:
+		return "cancelled"
+	}
+}
+
+// Status snapshots every job in submission order. Safe to call at any
+// point between events; running jobs report live progress and spend.
+func (s *Scheduler) Status() []JobStatus {
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		st := JobStatus{
+			Name: j.spec.Name, Tenant: j.spec.Tenant, Priority: j.spec.Priority,
+			State: j.stateString(), JobID: -1,
+			Arrived:     time.Duration(j.arrivedAt),
+			Admitted:    time.Duration(j.admittedAt),
+			Finished:    time.Duration(j.finishedAt),
+			EstDuration: j.estDur, EstEgress: j.estEgress,
+			Preemptions: j.preemptions,
+		}
+		if j.run != nil {
+			st.JobID = j.run.ID()
+			st.Windows = j.run.WindowsDone()
+			st.Cost, st.Egress = j.run.SpentSoFar()
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// Active counts jobs not yet finished or cancelled — zero means driving
+// the clock further only burns the admission tick.
+func (s *Scheduler) Active() int {
+	n := 0
+	for _, j := range s.jobs {
+		if j.state != jobDone && j.state != jobCancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Done reports whether every submitted job has finished or been cancelled.
+func (s *Scheduler) Done() bool { return s.allDone() }
+
+// Err returns the scheduler's sticky error (a failed admission), if any.
+func (s *Scheduler) Err() error { return s.err }
+
+// Report assembles the multi-job report of a live scheduler. It requires
+// every job to have finished or been cancelled; Run-driven schedulers get
+// their report from Run itself.
+func (s *Scheduler) Report() (*MultiReport, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if !s.allDone() {
+		return nil, errors.New("sched: jobs still active")
+	}
+	return s.report(), nil
+}

@@ -16,8 +16,12 @@ type JobReport struct {
 	Tenant   string
 	Priority int
 	// JobID is the engine-assigned id, the key trace events, metric labels
-	// and netsim per-job egress are attributed under.
+	// and netsim per-job egress are attributed under (-1 for jobs cancelled
+	// before admission).
 	JobID int
+	// Cancelled marks a job withdrawn by Scheduler.Cancel; its row carries
+	// no Report and is excluded from the aggregates and the fingerprint.
+	Cancelled bool
 	// Arrived / Admitted / Finished are virtual-time instants.
 	Arrived, Admitted, Finished time.Duration
 	// Wait is the admission queue delay; Completion is arrival → finish,
@@ -58,11 +62,12 @@ func (s *Scheduler) report() *MultiReport {
 	for _, j := range s.jobs {
 		jr := JobReport{
 			Name: j.spec.Name, Tenant: j.spec.Tenant, Priority: j.spec.Priority,
-			JobID:    j.run.ID(),
-			Arrived:  j.arrivedAt,
-			Admitted: j.admittedAt,
-			Finished: j.finishedAt,
-			Wait:     j.admittedAt - j.arrivedAt,
+			JobID:     -1,
+			Cancelled: j.state == jobCancelled,
+			Arrived:   j.arrivedAt,
+			Admitted:  j.admittedAt,
+			Finished:  j.finishedAt,
+			Wait:      j.admittedAt - j.arrivedAt,
 			// Completion clamps at the stream end: a job cannot finish
 			// before its own duration elapses.
 			Completion:    j.finishedAt - j.arrivedAt,
@@ -70,6 +75,17 @@ func (s *Scheduler) report() *MultiReport {
 			EstDuration:   j.estDur,
 			EstEgressCost: j.estEgress,
 			Report:        j.rep,
+		}
+		if j.run != nil {
+			jr.JobID = j.run.ID()
+		}
+		if jr.Cancelled {
+			// A cancelled row keeps its raw instants but contributes nothing
+			// to the aggregates; Wait/Completion would be nonsense for jobs
+			// withdrawn before admission or arrival.
+			jr.Wait, jr.Completion = 0, 0
+			m.Jobs = append(m.Jobs, jr)
+			continue
 		}
 		if jr.Finished > m.Makespan {
 			m.Makespan = jr.Finished
@@ -94,6 +110,12 @@ func (m *MultiReport) Fingerprint() uint64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "policy=%s cap=%d\n", m.Policy, m.MaxConcurrent)
 	for _, j := range m.Jobs {
+		if j.Cancelled {
+			// Cancelled rows are excluded so a roster with a job cancelled
+			// before arrival fingerprints identically to the surviving roster
+			// run on its own — the property the daemon e2e test pins.
+			continue
+		}
 		fmt.Fprintf(h, "%s|%s|p%d|id%d|%d|%d|%d|w%d|inc%d|e%d|b%d|c%.6f|eg%.6f|vm%.6f|pre%d\n",
 			j.Name, j.Tenant, j.Priority, j.JobID,
 			int64(j.Arrived), int64(j.Admitted), int64(j.Finished),
@@ -111,6 +133,12 @@ func (m *MultiReport) Table(title string) *stats.Table {
 		"job", "tenant", "prio", "wait", "completion", "windows", "events",
 		"bytes", "cost", "egress $", "VM-s", "preempts")
 	for _, j := range m.Jobs {
+		if j.Cancelled {
+			tb.Add(j.Name, j.Tenant, fmt.Sprint(j.Priority),
+				"-", "cancelled", "-", "-", "-", "-", "-", "-",
+				fmt.Sprint(j.Preemptions))
+			continue
+		}
 		tb.Add(j.Name, j.Tenant, fmt.Sprint(j.Priority),
 			fmtDur(j.Wait), fmtDur(j.Completion),
 			fmt.Sprint(j.Report.Windows), fmt.Sprint(j.Report.TotalEvents),

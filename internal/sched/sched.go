@@ -72,6 +72,7 @@ const (
 	jobQueued                    // arrived, waiting for admission
 	jobRunning
 	jobDone
+	jobCancelled
 )
 
 // job is the scheduler's per-job bookkeeping.
@@ -88,8 +89,15 @@ type job struct {
 	estEgress float64
 	run       *core.JobRun
 	rep       *core.Report
-	// paused marks a preempted job; preemptions counts distinct pauses.
+	// arrivalEv is the scheduled arrival, cancellable while the job is
+	// still jobSubmitted.
+	arrivalEv *simtime.Event
+	// paused marks a job whose transfers are held; preemptions counts
+	// distinct policy pauses. manual marks a user-requested Pause, which
+	// holds a running job's transfers and keeps a queued job out of
+	// admission until Resume.
 	paused      bool
+	manual      bool
 	preemptions int
 }
 
@@ -107,24 +115,40 @@ type Scheduler struct {
 	// every job admitted so far.
 	charges map[string]float64
 
+	// byName addresses jobs for the live control surface (Cancel, Pause,
+	// Resume); Submit enforces name uniqueness.
+	byName map[string]*job
+
 	// viewBuf / pickBuf are reused across dispatches so steady-state
 	// scheduling allocates nothing.
 	viewBuf []Candidate
 	pickBuf []int
 
+	// manualPauses counts jobs with manual set, so the reconcile pass can
+	// keep its zero-work early return when preemption is off and nobody
+	// asked for a pause.
+	manualPauses int
+
 	started bool
-	err     error
+	// live marks a scheduler started with Open: the caller owns the clock
+	// and Submit stays legal.
+	live   bool
+	ticker *simtime.Ticker
+	err    error
 }
 
 // New builds a scheduler over an engine. The engine must outlive the
 // scheduler; its worker deployments and monitor are shared by every job.
 func New(e *core.Engine, opt Options) *Scheduler {
-	return &Scheduler{e: e, opt: opt.withDefaults(), charges: make(map[string]float64)}
+	return &Scheduler{e: e, opt: opt.withDefaults(),
+		charges: make(map[string]float64), byName: make(map[string]*job)}
 }
 
-// Submit queues a job description. Must be called before Run.
+// Submit queues a job description. Legal before Run, or at any time on a
+// live scheduler (after Open), where the job's Arrival offset counts from
+// the submission instant. Job names must be unique per scheduler.
 func (s *Scheduler) Submit(spec JobSpec) error {
-	if s.started {
+	if s.started && !s.live {
 		return errors.New("sched: Submit after Run")
 	}
 	if spec.Name == "" {
@@ -136,7 +160,15 @@ func (s *Scheduler) Submit(spec JobSpec) error {
 	if spec.Duration <= 0 {
 		return fmt.Errorf("sched: job %q needs a positive duration", spec.Name)
 	}
-	s.jobs = append(s.jobs, &job{idx: len(s.jobs), spec: spec})
+	if s.byName[spec.Name] != nil {
+		return fmt.Errorf("sched: duplicate job name %q", spec.Name)
+	}
+	j := &job{idx: len(s.jobs), spec: spec}
+	s.jobs = append(s.jobs, j)
+	s.byName[spec.Name] = j
+	if s.started {
+		j.arrivalEv = s.e.Sched.After(spec.Arrival, func() { s.arrive(j) })
+	}
 	return nil
 }
 
@@ -154,7 +186,7 @@ func (s *Scheduler) Run() (*MultiReport, error) {
 	var horizon time.Duration
 	for _, j := range s.jobs {
 		j := j
-		s.e.Sched.After(j.spec.Arrival, func() { s.arrive(j) })
+		j.arrivalEv = s.e.Sched.After(j.spec.Arrival, func() { s.arrive(j) })
 		if h := j.spec.Arrival + j.spec.Duration; h > horizon {
 			horizon = h
 		}
@@ -206,25 +238,36 @@ func (s *Scheduler) Step(now simtime.Time) {
 		s.running = append(s.running[:i], s.running[i+1:]...)
 	}
 	for len(s.running) < s.opt.MaxConcurrent && len(s.pending) > 0 && s.err == nil {
-		s.admit(s.pickNext(now), now)
+		k := s.pickNext(now)
+		if k < 0 {
+			break // every pending job is held by a manual pause
+		}
+		s.admit(k, now)
 	}
 	s.reconcilePreemption()
 }
 
 // pickNext selects the pending index to admit: the policy chooses among the
 // highest-priority candidates only, so priority classes strictly order
-// admission and the policy settles order within a class.
+// admission and the policy settles order within a class. Manually paused
+// jobs are not candidates; -1 means nothing is admissible.
 func (s *Scheduler) pickNext(now simtime.Time) int {
-	top := s.pending[0].spec.Priority
-	for _, j := range s.pending[1:] {
-		if j.spec.Priority > top {
-			top = j.spec.Priority
+	top, any := 0, false
+	for _, j := range s.pending {
+		if j.manual {
+			continue
 		}
+		if !any || j.spec.Priority > top {
+			top, any = j.spec.Priority, true
+		}
+	}
+	if !any {
+		return -1
 	}
 	s.viewBuf = s.viewBuf[:0]
 	s.pickBuf = s.pickBuf[:0]
 	for i, j := range s.pending {
-		if j.spec.Priority != top {
+		if j.manual || j.spec.Priority != top {
 			continue
 		}
 		s.viewBuf = append(s.viewBuf, Candidate{
@@ -257,13 +300,16 @@ func (s *Scheduler) admit(k int, now simtime.Time) {
 	s.running = append(s.running, j)
 }
 
-// reconcilePreemption enforces the priority rule on the running set: every
-// running job of strictly lower priority than the highest running priority
-// has its transfers paused (in-flight transfers abort with their ledgers
-// kept); jobs at the top priority run unhindered. When the preemptor
-// finishes, the next reconcile resumes the survivors from their ledgers.
+// reconcilePreemption enforces the pause rules on the running set. With
+// Options.Preempt, every running job of strictly lower priority than the
+// highest running priority has its transfers paused (in-flight transfers
+// abort with their ledgers kept); jobs at the top priority run unhindered,
+// and when the preemptor finishes the next reconcile resumes the survivors
+// from their ledgers. Manually paused jobs (Pause) stay paused regardless of
+// priority. The steady state with preemption off and no manual pauses does
+// no work.
 func (s *Scheduler) reconcilePreemption() {
-	if !s.opt.Preempt || len(s.running) == 0 {
+	if len(s.running) == 0 || (!s.opt.Preempt && s.manualPauses == 0) {
 		return
 	}
 	top := s.running[0].spec.Priority
@@ -273,13 +319,14 @@ func (s *Scheduler) reconcilePreemption() {
 		}
 	}
 	for _, j := range s.running {
-		if j.spec.Priority < top {
-			if !j.paused {
-				j.paused = true
+		want := j.manual || (s.opt.Preempt && j.spec.Priority < top)
+		if want && !j.paused {
+			j.paused = true
+			if !j.manual {
 				j.preemptions++
-				s.e.PauseJobTransfers(j.run)
 			}
-		} else if j.paused {
+			s.e.PauseJobTransfers(j.run)
+		} else if !want && j.paused {
 			j.paused = false
 			s.e.ResumeJobTransfers(j.run)
 		}
@@ -288,7 +335,7 @@ func (s *Scheduler) reconcilePreemption() {
 
 func (s *Scheduler) allDone() bool {
 	for _, j := range s.jobs {
-		if j.state != jobDone {
+		if j.state != jobDone && j.state != jobCancelled {
 			return false
 		}
 	}
