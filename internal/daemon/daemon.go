@@ -134,8 +134,8 @@ func (d *Daemon) do(fn func()) error {
 }
 
 // loop is the driver: drain the mailbox, drive one quantum, repeat. With no
-// world, a paused clock, or no active jobs it blocks on the mailbox instead
-// of spinning.
+// world, a paused clock, or no runnable jobs (everything finished, cancelled
+// or manually paused) it blocks on the mailbox instead of spinning.
 func (d *Daemon) loop() {
 	defer close(d.doneC)
 	for {
@@ -154,7 +154,7 @@ func (d *Daemon) loop() {
 			return
 		default:
 		}
-		if d.eng == nil || d.paused || d.sc.Active() == 0 {
+		if d.eng == nil || d.paused || d.sc.Runnable() == 0 {
 			select {
 			case c := <-d.cmdC:
 				c.fn()
@@ -216,44 +216,55 @@ func (d *Daemon) submit(ros *scenario.Scenario) (*apiv1.SubmitResponse, error) {
 	if len(ros.Jobs) == 0 {
 		return nil, errStatus(400, "daemon: only multi-job rosters (a \"jobs\" array) can be submitted")
 	}
+	// Build into locals and adopt only after the whole roster validates: a
+	// rejected first roster must leave the daemon world-less, so the next
+	// roster is still "first" and gets its arrivals scheduled through Open.
+	// (A discarded engine is harmless — metric registration is find-or-create
+	// and the audit sink sees no events from a world that never runs.)
 	first := d.eng == nil
+	eng, sc, seed := d.eng, d.sc, d.seed
 	if first {
 		extra := []core.Option{core.WithObservability(d.obs)}
 		if d.aud != nil {
 			extra = append(extra, core.WithAuditSink(d.aud))
 		}
-		d.eng = scenario.BuildEngine(ros, extra...)
-		d.sc = sched.New(d.eng, scenario.SchedOptions(ros.Scheduler))
-		d.seed = ros.Seed
+		eng = scenario.BuildEngine(ros, extra...)
+		sc = sched.New(eng, scenario.SchedOptions(ros.Scheduler))
+		seed = ros.Seed
 	}
-	base := d.sc.Jobs()
+	base := sc.Jobs()
 	specs := make([]sched.JobSpec, 0, len(ros.Jobs))
 	seen := make(map[string]bool, len(ros.Jobs))
 	for i := range ros.Jobs {
-		spec, err := scenario.BuildSchedJob(d.seed, &ros.Jobs[i], base+i)
+		spec, err := scenario.BuildSchedJob(seed, &ros.Jobs[i], base+i)
 		if err != nil {
 			return nil, &httpError{status: 400, err: err}
 		}
-		if err := d.eng.ValidateSpec(spec.Spec); err != nil {
+		if err := eng.ValidateSpec(spec.Spec); err != nil {
 			return nil, &httpError{status: 400, err: err}
 		}
-		if seen[spec.Name] || d.sc.Has(spec.Name) {
+		if seen[spec.Name] || sc.Has(spec.Name) {
 			return nil, errStatus(409, "daemon: duplicate job name %q", spec.Name)
 		}
 		seen[spec.Name] = true
 		specs = append(specs, spec)
 	}
-	resp := &apiv1.SubmitResponse{Now: apiv1.Duration(d.eng.Sched.Now())}
+	// Every Submit precondition is established above — positive durations by
+	// scenario.Validate, unique names by the seen/Has checks, live-mode
+	// legality by construction — so a failure past this point cannot honour
+	// the atomicity contract and is an invariant violation, not a 500.
+	resp := &apiv1.SubmitResponse{Now: apiv1.Duration(eng.Sched.Now())}
 	for _, sp := range specs {
-		if err := d.sc.Submit(sp); err != nil {
-			return nil, &httpError{status: 500, err: err}
+		if err := sc.Submit(sp); err != nil {
+			panic(fmt.Sprintf("daemon: pre-validated Submit of %q failed: %v", sp.Name, err))
 		}
 		resp.Submitted = append(resp.Submitted, sp.Name)
 	}
 	if first {
-		if err := d.sc.Open(); err != nil {
-			return nil, &httpError{status: 500, err: err}
+		if err := sc.Open(); err != nil {
+			panic(fmt.Sprintf("daemon: Open of a fresh scheduler failed: %v", err))
 		}
+		d.eng, d.sc, d.seed = eng, sc, seed
 	}
 	if d.aud != nil {
 		d.aud.api(d.eng.Sched.Now(), "submit", "", fmt.Sprintf("%d job(s): %v", len(resp.Submitted), resp.Submitted))

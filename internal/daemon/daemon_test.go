@@ -469,6 +469,62 @@ func TestDaemonErrorMapping(t *testing.T) {
 	if code := statusOf(t, postJSON(t, ts.URL+"/api/v1/clock", apiv1.ClockAction{Action: "warp"})); code != http.StatusBadRequest {
 		t.Fatalf("bad clock action: status %d", code)
 	}
+
+	// Regression: the rejected first roster must not have half-adopted a
+	// world. The good roster submitted after it is still the daemon's first,
+	// so its arrivals were scheduled through Open and resuming the clock
+	// drains it — before the fix the jobs sat in "submitted" forever.
+	setClock(t, ts, "resume")
+	rep := pollReport(t, ts)
+	if len(rep.Jobs) != 3 {
+		t.Fatalf("report has %d jobs", len(rep.Jobs))
+	}
+	for _, j := range rep.Jobs {
+		if j.Name == "victim" {
+			if !j.Cancelled {
+				t.Fatalf("victim row: %+v", j)
+			}
+		} else if j.Cancelled || j.Report == nil || j.Report.Windows == 0 {
+			t.Fatalf("job %s did not run after the rejected roster: %+v", j.Name, j)
+		}
+	}
+}
+
+// TestDaemonAllPausedIdlesClock pins the driver's idle rule: a roster whose
+// every active job is manually paused has no runnable work, so the driver
+// parks on its mailbox and the virtual clock freezes instead of busy-spinning;
+// resuming the jobs wakes it and the roster drains.
+func TestDaemonAllPausedIdlesClock(t *testing.T) {
+	_, ts := startDaemon(t, Options{StartPaused: true, Quantum: 5 * time.Second})
+	ros := testRoster()
+	ros.Jobs = ros.Jobs[:2] // alpha + bravo
+	submitRoster(t, ts, ros)
+	for _, name := range []string{"alpha", "bravo"} {
+		if code := statusOf(t, postJSON(t, ts.URL+"/api/v1/jobs/"+name+"/pause", struct{}{})); code != http.StatusOK {
+			t.Fatalf("pause %s: status %d", name, code)
+		}
+	}
+	setClock(t, ts, "resume")
+	// Reads serialize through the mailbox and the driver only runs a quantum
+	// when something is runnable, so with the whole roster held the two
+	// snapshots must agree exactly.
+	c1 := decodeBody[apiv1.Clock](t, doReq(t, "GET", ts.URL+"/api/v1/clock"))
+	time.Sleep(50 * time.Millisecond)
+	c2 := decodeBody[apiv1.Clock](t, doReq(t, "GET", ts.URL+"/api/v1/clock"))
+	if c1.Now != c2.Now || c1.Fired != c2.Fired {
+		t.Fatalf("clock advanced while the whole roster was paused: %+v -> %+v", c1, c2)
+	}
+	for _, name := range []string{"alpha", "bravo"} {
+		if code := statusOf(t, postJSON(t, ts.URL+"/api/v1/jobs/"+name+"/resume", struct{}{})); code != http.StatusOK {
+			t.Fatalf("resume %s: status %d", name, code)
+		}
+	}
+	rep := pollReport(t, ts)
+	for _, j := range rep.Jobs {
+		if j.Cancelled || j.Report == nil {
+			t.Fatalf("job %s did not finish after resume: %+v", j.Name, j)
+		}
+	}
 }
 
 // TestDaemonStopRejectsAPI pins the 503 after shutdown.

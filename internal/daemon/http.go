@@ -144,6 +144,7 @@ func (d *Daemon) handleJobOp(action string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("id")
 		var herr error
+		var row *apiv1.JobStatus
 		if err := d.do(func() {
 			var op func(string) error
 			if d.sc != nil {
@@ -156,7 +157,18 @@ func (d *Daemon) handleJobOp(action string) http.HandlerFunc {
 					op = d.sc.Cancel
 				}
 			}
-			herr = d.jobOp(name, action, op)
+			if herr = d.jobOp(name, action, op); herr != nil {
+				return
+			}
+			// Snapshot at the same safe point as the mutation: with an
+			// unpaced clock a second mailbox round-trip could observe a much
+			// later simulation state than the operation's effect.
+			for _, st := range d.list().Jobs {
+				if st.Name == name {
+					row = &st
+					break
+				}
+			}
 		}); err != nil {
 			writeErr(w, err)
 			return
@@ -165,16 +177,9 @@ func (d *Daemon) handleJobOp(action string) http.HandlerFunc {
 			writeErr(w, herr)
 			return
 		}
-		var l apiv1.JobList
-		if err := d.do(func() { l = d.list() }); err != nil {
-			writeErr(w, err)
+		if row != nil {
+			writeJSON(w, *row)
 			return
-		}
-		for _, st := range l.Jobs {
-			if st.Name == name {
-				writeJSON(w, st)
-				return
-			}
 		}
 		w.WriteHeader(http.StatusNoContent)
 	}

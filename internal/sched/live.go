@@ -245,6 +245,22 @@ func (s *Scheduler) Active() int {
 	return n
 }
 
+// Runnable counts active jobs not held by a manual pause — the jobs for
+// which advancing the clock can make progress. Zero with Active() > 0 means
+// every surviving job is manually paused: pausing already aborted any
+// in-flight transfers, so driving the clock would only burn the admission
+// tick until a Resume or Cancel changes the answer.
+func (s *Scheduler) Runnable() int {
+	n := 0
+	for _, j := range s.jobs {
+		if j.state == jobDone || j.state == jobCancelled || j.manual {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
 // Done reports whether every submitted job has finished or been cancelled.
 func (s *Scheduler) Done() bool { return s.allDone() }
 
